@@ -1,0 +1,44 @@
+"""Experiment E1 -- Figure 1: testing time vs. TAM width for Core 6 of p93791.
+
+The paper's figure shows a staircase that drops steeply at small widths and
+saturates at the highest Pareto-optimal width (47 for the real Core 6, where
+the testing time settles at 114317 cycles).  The synthetic Core 6 stand-in is
+calibrated to reproduce that shape.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.analysis.experiments import figure1_staircase
+from repro.analysis.reporting import ascii_plot, format_figure_series
+from repro.soc.benchmarks import p93791
+from repro.wrapper.pareto import pareto_points
+
+
+def test_figure1_staircase(benchmark, results_dir):
+    soc = p93791()
+    core = soc.core("Core 6")
+
+    series = benchmark.pedantic(
+        lambda: figure1_staircase(core, max_width=64), rounds=1, iterations=1
+    )
+
+    points = pareto_points(core, 64)
+    text = "\n".join(
+        [
+            ascii_plot(series, title="Figure 1: T(w) for Core 6 of p93791"),
+            "",
+            f"Pareto-optimal widths: {[p.width for p in points]}",
+            f"Saturated testing time: {points[-1].time} cycles "
+            "(paper: 114317 at width 47)",
+            "",
+            format_figure_series(series, x_label="TAM width", y_label="testing time"),
+        ]
+    )
+    write_result(results_dir, "figure1_core6_staircase.txt", text)
+
+    times = [t for _, t in series]
+    # Staircase properties the paper highlights.
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    assert 44 <= points[-1].width <= 50
+    assert times[-1] == times[points[-1].width - 1]

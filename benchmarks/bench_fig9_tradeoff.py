@@ -1,0 +1,70 @@
+"""Experiments E4-E6 -- Figure 9: T(W), D(W) and the cost curves for p22810.
+
+Panel (a): SOC testing time vs. TAM width (staircase).
+Panel (b): tester data volume D(W) = W * T(W) (non-monotonic, local minima at
+           the Pareto-optimal widths of the T curve).
+Panels (c)/(d): the normalised cost C(W) for alpha = 0.5 and 0.75 ("U" shaped).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.analysis.experiments import figure9_curves
+from repro.analysis.reporting import ascii_plot, format_figure_series
+from repro.soc.benchmarks import p22810
+
+WIDTHS = tuple(range(4, 81, 2))
+ALPHAS = (0.5, 0.75)
+
+
+def test_figure9_curves(benchmark, results_dir):
+    soc = p22810()
+
+    data = benchmark.pedantic(
+        lambda: figure9_curves(soc, widths=WIDTHS, alphas=ALPHAS), rounds=1, iterations=1
+    )
+    sweep = data.sweep
+
+    sections = [
+        ascii_plot(data.time_curve, title="Figure 9(a): testing time T(W) for p22810"),
+        "",
+        ascii_plot(data.volume_curve, title="Figure 9(b): tester data volume D(W)"),
+        "",
+    ]
+    for alpha in ALPHAS:
+        sections.append(
+            ascii_plot(
+                data.cost_curves[alpha],
+                title=f"Figure 9(c/d): cost C(W) for alpha={alpha}",
+            )
+        )
+        sections.append("")
+    sections.append(
+        f"T_min = {sweep.min_testing_time} at W = {sweep.width_of_min_time}; "
+        f"D_min = {sweep.min_data_volume} at W = {sweep.width_of_min_volume}"
+    )
+    sections.append("")
+    sections.append(
+        format_figure_series(
+            list(zip(sweep.widths, sweep.testing_times)),
+            x_label="TAM width",
+            y_label="testing time",
+        )
+    )
+    write_result(results_dir, "figure9_p22810.txt", "\n".join(sections))
+
+    # Shape checks mirroring the paper's observations.
+    times = list(sweep.testing_times)
+    assert all(a >= b for a, b in zip(times, times[1:]))  # (a) staircase
+    volumes = list(sweep.data_volumes)
+    assert any(a > b for a, b in zip(volumes, volumes[1:]))  # (b) non-monotone
+    assert any(a < b for a, b in zip(volumes, volumes[1:]))
+    # The minimum-volume width is a Pareto width of the T curve and is
+    # narrower than the minimum-time width.
+    assert sweep.width_of_min_volume in sweep.pareto_widths()
+    assert sweep.width_of_min_volume < sweep.width_of_min_time
+    # (c)/(d): the cost curve minimum lies strictly inside the sweep for
+    # mid-range alpha and moves toward wider TAMs as alpha grows.
+    effective_half = sweep.effective_width(0.5).width
+    effective_three_quarters = sweep.effective_width(0.75).width
+    assert effective_half <= effective_three_quarters

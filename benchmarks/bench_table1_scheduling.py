@@ -1,0 +1,71 @@
+"""Experiment E3 -- Table 1: wrapper/TAM co-optimization and test scheduling.
+
+For each benchmark SOC and each TAM width the paper reports, regenerate the
+lower bound and the non-preemptive, preemptive, and preemptive +
+power-constrained testing times (best over the heuristic parameter grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.experiments import TABLE1_WIDTHS, run_table1
+from repro.analysis.reporting import table1_to_text
+from repro.soc.benchmarks import get_benchmark
+
+# Published Table 1 values, used only for the reproduction report (the
+# synthetic Philips stand-ins are expected to match in shape, not value).
+PAPER_TABLE1 = {
+    ("d695", 16): (41232, 43410, 43423, 47574),
+    ("d695", 32): (20616, 22229, 21757, 29039),
+    ("d695", 48): (13744, 15698, 15499, 28441),
+    ("d695", 64): (10308, 11285, 11354, 20004),
+    ("p22810", 16): (421473, 466383, 459951, 527573),
+    ("p22810", 32): (210737, 243779, 243978, 277151),
+    ("p22810", 48): (140491, 164420, 162554, 213845),
+    ("p22810", 64): (105369, 140222, 134732, 176076),
+    ("p34392", 16): (936882, 1071043, 1082065, 1180187),
+    ("p34392", 24): (624588, 728986, 702322, 1075971),
+    ("p34392", 28): (544579, 617018, 615126, 1075242),
+    ("p34392", 32): (544579, 544579, 544579, 1075242),
+    ("p93791", 16): (1749388, 1860752, 1860752, 1966092),
+    ("p93791", 32): (874694, 929311, 929311, 1247221),
+    ("p93791", 48): (583130, 637717, 643605, 656214),
+    ("p93791", 64): (437347, 503661, 492095, 631840),
+}
+
+
+def _render(soc_name, rows):
+    lines = [table1_to_text(rows), "", "paper reference (LB / NP / P / P+power):"]
+    for row in rows:
+        paper = PAPER_TABLE1.get((soc_name, row.width))
+        if paper:
+            lines.append(
+                f"  W={row.width}: paper LB={paper[0]} NP={paper[1]} "
+                f"P={paper[2]} PW={paper[3]}"
+            )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("soc_name", ["d695", "p22810", "p34392", "p93791"])
+def test_table1(benchmark, results_dir, soc_name):
+    """Regenerate the Table 1 rows for one SOC (single benchmark round)."""
+    soc = get_benchmark(soc_name)
+    widths = TABLE1_WIDTHS[soc_name]
+
+    rows = benchmark.pedantic(
+        lambda: run_table1(soc, widths=widths), rounds=1, iterations=1
+    )
+
+    write_result(results_dir, f"table1_{soc_name}.txt", _render(soc_name, rows))
+
+    for row in rows:
+        assert row.non_preemptive >= row.lower_bound
+        assert row.preemptive >= row.lower_bound
+        assert row.power_constrained >= row.lower_bound
+        # Same shape as the paper: the heuristic lands within 25 % of the
+        # lower bound (the paper achieves 0-33 % depending on SOC and width).
+        assert row.non_preemptive <= 1.25 * row.lower_bound
+    # Testing time scales roughly inversely with TAM width.
+    assert rows[-1].non_preemptive < rows[0].non_preemptive

@@ -1,0 +1,61 @@
+"""Experiment E7 -- Table 2: TAM widths for tester data volume reduction.
+
+For each SOC: the minimum testing time and data volume over a TAM-width
+sweep, the widths at which they occur, and -- for the alpha values the paper
+reports -- the effective TAM width minimising the normalised cost function,
+with the testing time and data volume it yields.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.experiments import TABLE2_ALPHAS, run_table2
+from repro.analysis.reporting import table2_to_text
+from repro.soc.benchmarks import get_benchmark
+
+# Paper Table 2 reference (T_min, W@T_min, D_min, W@D_min) per SOC.
+PAPER_TABLE2 = {
+    "d695": (11285, 63, 675554, 22),
+    "p22810": (140222, 63, 7377480, 44),
+    "p34392": (544579, 32, 16659486, 27),
+    "p93791": (503661, 62, 29399656, 22),
+}
+
+SWEEP_WIDTHS = tuple(range(8, 65, 2))
+
+
+@pytest.mark.parametrize("soc_name", ["d695", "p22810", "p34392", "p93791"])
+def test_table2(benchmark, results_dir, soc_name):
+    soc = get_benchmark(soc_name)
+    alphas = TABLE2_ALPHAS[soc_name]
+
+    rows, sweep = benchmark.pedantic(
+        lambda: run_table2(soc, alphas=alphas, widths=SWEEP_WIDTHS),
+        rounds=1,
+        iterations=1,
+    )
+
+    paper = PAPER_TABLE2[soc_name]
+    text = "\n".join(
+        [
+            table2_to_text(rows),
+            "",
+            f"paper reference: T_min={paper[0]} at W={paper[1]}, "
+            f"D_min={paper[2]} at W={paper[3]}",
+        ]
+    )
+    write_result(results_dir, f"table2_{soc_name}.txt", text)
+
+    # Shape checks: the minimum-volume width is narrower than (or equal to)
+    # the minimum-time width, and every effective width lies between them.
+    assert sweep.width_of_min_volume <= sweep.width_of_min_time
+    for row in rows:
+        assert sweep.width_of_min_volume <= row.effective_width <= max(sweep.widths)
+        assert row.testing_time_at_effective >= sweep.min_testing_time
+        assert row.data_volume_at_effective >= sweep.min_data_volume
+        assert row.min_cost >= 1.0 - 1e-9
+    # Larger alpha (more weight on time) never narrows the effective width.
+    widths = [row.effective_width for row in rows]
+    assert widths == sorted(widths)

@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Results are printed to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and also written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benchmark result tables are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Write one experiment's text output to the results directory."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable straight from the source tree so the test suite
+and benchmarks also run on minimal environments where ``pip install -e .``
+is unavailable (e.g. offline machines without the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Describe your own SOC in the ITC'02-style text format and schedule it.
+
+Writes a small SOC description (including scheduling constraints) to a
+temporary file, loads it back with the library's parser, runs the
+constraint-driven scheduler, and prints the schedule -- the same flow a
+system integrator would use with the ``repro-soc-test`` command-line tool:
+
+    repro-soc-test schedule my_soc.soc 24
+
+Run with:  python examples/custom_soc_from_file.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import best_schedule, load_soc, lower_bound, render_gantt
+
+SOC_DESCRIPTION = """\
+# A small set-top-box SOC
+SocName stb_demo
+
+Core video_dec  inputs=43 outputs=52 patterns=160 scan=96,96,92,90
+Core audio_dsp  inputs=28 outputs=30 patterns=110 scan=64,64,60
+Core usb_ctrl   inputs=35 outputs=31 patterns=75  scan=48,44
+Core ddr_phy    inputs=51 outputs=47 patterns=40  scan=32,32,32,30
+Core sec_engine inputs=22 outputs=26 patterns=90  scan=56,52 bist=crypto_bist
+Core rng        inputs=8  outputs=9  patterns=30  scan=24    bist=crypto_bist
+Core gpio       inputs=66 outputs=58 patterns=20
+
+# The DDR interface is tested first so it can stream system-test data later,
+# and the two crypto blocks share a BIST engine (never tested concurrently).
+Precedence ddr_phy video_dec
+Precedence ddr_phy audio_dsp
+PowerMax 1400
+MaxPreemptions video_dec 2
+MaxPreemptions audio_dsp 2
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "stb_demo.soc"
+        path.write_text(SOC_DESCRIPTION, encoding="utf-8")
+
+        soc, constraints = load_soc(path)
+        print(f"Loaded {soc.name} from {path.name}: {len(soc)} cores")
+        print(f"Constraints: {constraints.describe()}")
+        print()
+
+        width = 24
+        schedule = best_schedule(
+            soc,
+            width,
+            constraints=constraints,
+            percents=(1, 5, 10, 25, 50),
+            deltas=(0, 2),
+            slacks=(0, 3),
+        )
+        schedule.validate(soc, constraints)
+
+        print(render_gantt(schedule))
+        print()
+        print(f"lower bound : {lower_bound(soc, width)} cycles")
+        print(f"testing time: {schedule.makespan} cycles")
+        print(f"peak power  : {schedule.peak_power(soc):.0f} "
+              f"(budget {constraints.power_max:.0f})")
+        ddr_end = schedule.core_summary("ddr_phy").last_end
+        print(f"ddr_phy completes at {ddr_end}; "
+              f"video_dec starts at {schedule.core_summary('video_dec').first_begin}, "
+              f"audio_dsp at {schedule.core_summary('audio_dsp').first_begin}")
+
+
+if __name__ == "__main__":
+    main()

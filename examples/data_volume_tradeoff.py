@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Tester data volume reduction and effective TAM width selection (Problem 3).
+
+Multisite testing motivates narrow TAMs: the fewer tester channels one SOC
+needs, the more SOCs can be tested in parallel on one tester, provided the
+per-pin memory depth stays within the tester buffer.  This script sweeps the
+TAM width for the p22810 stand-in, plots T(W), D(W) = W*T(W) and the
+normalised cost C(W), and prints the effective TAM width for several values
+of the trade-off parameter alpha (the paper's Table 2 / Figure 9).
+
+Run with:  python examples/data_volume_tradeoff.py
+"""
+
+from repro import p22810, sweep_tam_widths
+from repro.analysis.reporting import ascii_plot, format_table
+
+
+def main() -> None:
+    soc = p22810()
+    widths = tuple(range(8, 65, 2))
+
+    print(f"Sweeping TAM widths {widths[0]}..{widths[-1]} for {soc.name} "
+          f"({len(soc)} cores)...")
+    sweep = sweep_tam_widths(soc, widths)
+
+    print()
+    print(ascii_plot(list(zip(sweep.widths, sweep.testing_times)),
+                     title="Testing time T(W)"))
+    print()
+    print(ascii_plot(list(zip(sweep.widths, sweep.data_volumes)),
+                     title="Tester data volume D(W) = W * T(W)"))
+    print()
+    print(f"T_min = {sweep.min_testing_time} cycles at W = {sweep.width_of_min_time}")
+    print(f"D_min = {sweep.min_data_volume} bits   at W = {sweep.width_of_min_volume}")
+    print()
+
+    alphas = (0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99)
+    rows = []
+    for alpha in alphas:
+        point = sweep.effective_width(alpha)
+        rows.append((alpha, point.width, point.testing_time, point.data_volume,
+                     round(point.cost, 3)))
+    print("Effective TAM widths (argmin of C = a*T/T_min + (1-a)*D/D_min):")
+    print(format_table(("alpha", "W_e", "T @ W_e", "D @ W_e", "C_min"), rows))
+    print()
+
+    half = sweep.effective_width(0.5)
+    print(ascii_plot([(p.width, p.cost) for p in sweep.cost_curve(0.5)],
+                     title="Cost function C(W) for alpha = 0.5"))
+    print()
+    print(f"With alpha = 0.5 the system integrator would provision {half.width} "
+          f"TAM wires: {half.testing_time} cycles "
+          f"({half.testing_time / sweep.min_testing_time:.2f}x the minimum time) for "
+          f"{half.data_volume} bits "
+          f"({half.data_volume / sweep.min_data_volume:.2f}x the minimum volume).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Figure 1 reproduction: the testing-time staircase of a core.
+
+For a given core, the testing time decreases with TAM width only at
+Pareto-optimal points and is flat in between; beyond the highest
+Pareto-optimal width, extra wires buy nothing.  This script plots the
+staircase for Core 6 of the p93791 stand-in (the paper's Figure 1) and for
+one of the d695 cores, and prints the Pareto-optimal widths and the paper's
+"preferred width" for a few values of the q parameter.
+
+Run with:  python examples/pareto_staircase.py
+"""
+
+from repro import d695, p93791, pareto_points, preferred_width, testing_time_curve
+from repro.analysis.reporting import ascii_plot
+
+
+def show_core(core, max_width=64):
+    curve = testing_time_curve(core, max_width)
+    series = list(zip(range(1, max_width + 1), curve))
+    print(ascii_plot(series, title=f"Testing time vs TAM width for {core.name}"))
+
+    points = pareto_points(core, max_width)
+    print(f"\nPareto-optimal widths for {core.name}:")
+    for point in points:
+        print(f"  width {point.width:>2}: {point.time:>8} cycles")
+    print(f"  (saturates at width {points[-1].width}; wider TAMs gain nothing)")
+
+    print("\nPreferred widths (smallest width within q% of the saturated time):")
+    for percent in (1, 5, 10, 25):
+        width = preferred_width(core, max_width=max_width, percent=percent)
+        print(f"  q = {percent:>2}%: width {width:>2} "
+              f"({curve[width - 1]} cycles vs {curve[-1]} at saturation)")
+    print()
+
+
+def main() -> None:
+    philips = p93791()
+    show_core(philips.core("Core 6"))
+
+    academic = d695()
+    show_core(academic.core("s38417"))
+
+
+if __name__ == "__main__":
+    main()

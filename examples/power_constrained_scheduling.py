@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Constraint-driven, selectively preemptive test scheduling (Problem 2).
+
+Scenario (the one the paper's introduction motivates): an SOC whose embedded
+memories must be tested and diagnosed first so they can be used for system
+test afterwards, whose hierarchical parent core must not be tested at the
+same time as its children, whose two BIST-ed cores share one BIST engine,
+and whose power rating must never be exceeded during test.  The larger cores
+may be preempted up to twice.
+
+The script schedules the SOC four ways -- unconstrained, precedence +
+concurrency only, plus power, plus preemption -- and compares the testing
+times, demonstrating how each constraint shapes the schedule.
+
+Run with:  python examples/power_constrained_scheduling.py
+"""
+
+from repro import ConstraintSet, Core, Soc, best_schedule, lower_bound, render_gantt
+
+
+def build_soc() -> Soc:
+    cores = (
+        # Two embedded SRAMs: test these first ("abort at first fail").
+        Core("sram0", inputs=24, outputs=18, patterns=40, scan_chains=(64, 64), power=220),
+        Core("sram1", inputs=24, outputs=18, patterns=40, scan_chains=(64, 64), power=220),
+        # CPU with a child co-processor inside its hierarchy.
+        Core("cpu", inputs=40, outputs=36, patterns=120, scan_chains=(80,) * 8, power=520),
+        Core("fpu", inputs=16, outputs=16, patterns=60, scan_chains=(48,) * 4, power=260,
+             parent="cpu"),
+        # Two DSPs sharing one BIST engine.
+        Core("dsp0", inputs=20, outputs=20, patterns=90, scan_chains=(56,) * 6, power=380,
+             bist_resource="membist"),
+        Core("dsp1", inputs=20, outputs=20, patterns=90, scan_chains=(56,) * 6, power=380,
+             bist_resource="membist"),
+        # Peripheral glue logic.
+        Core("periph", inputs=60, outputs=44, patterns=25, scan_chains=(30, 30), power=120),
+    )
+    return Soc("example-soc", cores)
+
+
+def schedule_and_report(soc, width, constraints, label, grid):
+    schedule = best_schedule(soc, width, constraints=constraints, **grid)
+    if constraints is not None:
+        schedule.validate(soc, constraints)
+    else:
+        schedule.validate(soc)
+    print(f"{label:<42} {schedule.makespan:>8} cycles "
+          f"(peak power {schedule.peak_power(soc):.0f})")
+    return schedule
+
+
+def main() -> None:
+    soc = build_soc()
+    width = 32
+    grid = dict(percents=(1, 5, 10, 25, 50), deltas=(0, 2), slacks=(0, 3))
+
+    print(soc.summary())
+    print()
+    print(f"Total TAM width: {width} wires, "
+          f"lower bound {lower_bound(soc, width)} cycles")
+    print()
+
+    memories_first = [("sram0", core.name) for core in soc.cores
+                      if core.name not in ("sram0", "sram1")]
+    memories_first += [("sram1", core.name) for core in soc.cores
+                       if core.name not in ("sram0", "sram1")]
+
+    power_budget = 1.15 * soc.max_test_power()
+    preemptable = {"cpu": 2, "dsp0": 2, "dsp1": 2}
+
+    schedule_and_report(soc, width, None, "unconstrained", grid)
+
+    ordering = ConstraintSet.for_soc(soc, precedence=memories_first)
+    schedule_and_report(soc, width, ordering, "+ memories first, hierarchy, shared BIST", grid)
+
+    powered = ordering.with_power_max(power_budget)
+    schedule_and_report(soc, width, powered, f"+ power budget ({power_budget:.0f})", grid)
+
+    preemptive = powered.with_preemptions(preemptable)
+    final = schedule_and_report(soc, width, preemptive, "+ selective preemption (limit 2)", grid)
+
+    print()
+    print(render_gantt(final))
+    print()
+    print("Preemption counts:", {
+        core: final.preemptions_of(core) for core in soc.core_names
+        if final.preemptions_of(core)
+    } or "none used")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal environments that lack the
+``wheel`` package (legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

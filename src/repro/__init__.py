@@ -1,0 +1,169 @@
+"""repro: wrapper/TAM co-optimization, constraint-driven test scheduling and
+tester data volume reduction for SOCs.
+
+A faithful, self-contained Python reproduction of
+
+    V. Iyengar, K. Chakrabarty, E. J. Marinissen,
+    "Wrapper/TAM Co-Optimization, Constraint-Driven Test Scheduling, and
+    Tester Data Volume Reduction for SOCs", DAC 2002.
+
+Quick start
+-----------
+>>> from repro import d695, schedule_soc, lower_bound
+>>> soc = d695()
+>>> schedule = schedule_soc(soc, total_width=32)
+>>> schedule.makespan >= lower_bound(soc, 32)
+True
+
+The public API re-exported here covers the full framework:
+
+* SOC modelling: :class:`Core`, :class:`Soc`, :class:`ConstraintSet`,
+  benchmark SOCs (``d695``, ``p22810``, ``p34392``, ``p93791``) and the
+  ITC'02-style file format.
+* Wrapper design: ``design_wrapper``, ``testing_time``, ``pareto_points``.
+* Scheduling: ``schedule_soc``, ``best_schedule``, ``SchedulerConfig``,
+  ``TestSchedule``, ``render_gantt`` and the ``lower_bound``.
+* Tester data volume: ``sweep_tam_widths``, ``tester_data_volume``,
+  ``effective_width``.
+* Baselines: ``fixed_width_schedule``, ``shelf_schedule``,
+  ``exhaustive_schedule``.
+* Experiments: ``run_table1``, ``run_table2``, ``figure1_staircase``,
+  ``figure9_curves``.
+"""
+
+from repro.soc import (
+    ConstraintSet,
+    Core,
+    Soc,
+    SocValidationError,
+    ConstraintError,
+    SocFormatError,
+    d695,
+    format_soc,
+    generate_soc,
+    generate_soc_family,
+    get_benchmark,
+    list_benchmarks,
+    load_soc,
+    p22810,
+    p34392,
+    p93791,
+    parse_soc,
+    save_soc,
+)
+from repro.wrapper import (
+    WrapperDesign,
+    core_wrapper_plan,
+    design_wrapper,
+    format_soc_wrapper_plans,
+    pareto_points,
+    preferred_width,
+    testing_time,
+    testing_time_curve,
+    wrapper_plans_for_schedule,
+)
+from repro.schedule import (
+    ScheduleError,
+    ScheduleSegment,
+    TestSchedule,
+    render_gantt,
+)
+from repro.core import (
+    Rectangle,
+    RectangleSet,
+    SchedulerConfig,
+    SchedulerError,
+    TamSweep,
+    best_schedule,
+    build_rectangle_sets,
+    cost_curve,
+    effective_width,
+    lower_bound,
+    schedule_soc,
+    sweep_tam_widths,
+    tester_data_volume,
+)
+from repro.baselines import (
+    exhaustive_schedule,
+    fixed_width_schedule,
+    shelf_schedule,
+)
+from repro.analysis import (
+    TesterModel,
+    best_multisite_width,
+    evaluate_multisite,
+    figure1_staircase,
+    figure9_curves,
+    run_table1,
+    run_table2,
+    table1_to_text,
+    table2_to_text,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # soc
+    "Core",
+    "Soc",
+    "ConstraintSet",
+    "SocValidationError",
+    "ConstraintError",
+    "SocFormatError",
+    "parse_soc",
+    "format_soc",
+    "load_soc",
+    "save_soc",
+    "d695",
+    "p22810",
+    "p34392",
+    "p93791",
+    "get_benchmark",
+    "list_benchmarks",
+    "generate_soc",
+    "generate_soc_family",
+    # wrapper
+    "WrapperDesign",
+    "design_wrapper",
+    "testing_time",
+    "testing_time_curve",
+    "pareto_points",
+    "preferred_width",
+    "core_wrapper_plan",
+    "wrapper_plans_for_schedule",
+    "format_soc_wrapper_plans",
+    # schedule
+    "TestSchedule",
+    "ScheduleSegment",
+    "ScheduleError",
+    "render_gantt",
+    # core
+    "Rectangle",
+    "RectangleSet",
+    "build_rectangle_sets",
+    "SchedulerConfig",
+    "SchedulerError",
+    "schedule_soc",
+    "best_schedule",
+    "lower_bound",
+    "TamSweep",
+    "sweep_tam_widths",
+    "tester_data_volume",
+    "cost_curve",
+    "effective_width",
+    # baselines
+    "fixed_width_schedule",
+    "shelf_schedule",
+    "exhaustive_schedule",
+    # analysis
+    "run_table1",
+    "run_table2",
+    "figure1_staircase",
+    "figure9_curves",
+    "table1_to_text",
+    "table2_to_text",
+    "TesterModel",
+    "evaluate_multisite",
+    "best_multisite_width",
+]

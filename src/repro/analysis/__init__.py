@@ -1,0 +1,58 @@
+"""Experiment drivers and reporting for the paper's tables and figures.
+
+* :mod:`~repro.analysis.experiments` -- functions that regenerate each table
+  and figure of the paper's evaluation section (Table 1, Table 2, Figure 1,
+  Figure 9) plus the ablations listed in DESIGN.md.
+* :mod:`~repro.analysis.reporting` -- plain-text table formatting shared by
+  the CLI, the examples and the benchmark harness.
+"""
+
+from repro.analysis.experiments import (
+    Table1Row,
+    Table2Row,
+    figure1_staircase,
+    figure9_curves,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.reporting import (
+    format_figure_series,
+    format_table,
+    table1_to_text,
+    table2_to_text,
+)
+from repro.analysis.multisite import (
+    MultisitePoint,
+    TesterModel,
+    best_multisite_width,
+    evaluate_multisite,
+)
+from repro.analysis.export import (
+    save_csv,
+    series_to_csv,
+    sweep_to_csv,
+    table1_to_csv,
+    table2_to_csv,
+)
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "run_table1",
+    "run_table2",
+    "figure1_staircase",
+    "figure9_curves",
+    "format_table",
+    "table1_to_text",
+    "table2_to_text",
+    "format_figure_series",
+    "TesterModel",
+    "MultisitePoint",
+    "evaluate_multisite",
+    "best_multisite_width",
+    "table1_to_csv",
+    "table2_to_csv",
+    "sweep_to_csv",
+    "series_to_csv",
+    "save_csv",
+]

@@ -1,0 +1,113 @@
+"""CSV export of experiment results.
+
+The benchmark harness writes aligned plain-text tables; downstream users who
+want to re-plot the paper's figures with their own tooling usually prefer
+CSV.  These helpers serialise the library's result objects (Table 1/2 rows,
+TAM sweeps, figure series) without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.analysis.experiments import Table1Row, Table2Row
+from repro.core.data_volume import TamSweep
+
+Number = Union[int, float]
+
+
+def _write_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table1_to_csv(rows: Sequence[Table1Row]) -> str:
+    """Serialise Table 1 rows to CSV text."""
+    headers = (
+        "soc",
+        "tam_width",
+        "lower_bound",
+        "non_preemptive",
+        "preemptive",
+        "power_constrained",
+    )
+    return _write_csv(
+        headers,
+        (
+            (
+                row.soc,
+                row.width,
+                row.lower_bound,
+                row.non_preemptive,
+                row.preemptive,
+                row.power_constrained,
+            )
+            for row in rows
+        ),
+    )
+
+
+def table2_to_csv(rows: Sequence[Table2Row]) -> str:
+    """Serialise Table 2 rows to CSV text."""
+    headers = (
+        "soc",
+        "alpha",
+        "min_testing_time",
+        "width_of_min_time",
+        "min_data_volume",
+        "width_of_min_volume",
+        "min_cost",
+        "effective_width",
+        "testing_time_at_effective",
+        "data_volume_at_effective",
+    )
+    return _write_csv(
+        headers,
+        (
+            (
+                row.soc,
+                row.alpha,
+                row.min_testing_time,
+                row.width_of_min_time,
+                row.min_data_volume,
+                row.width_of_min_volume,
+                row.min_cost,
+                row.effective_width,
+                row.testing_time_at_effective,
+                row.data_volume_at_effective,
+            )
+            for row in rows
+        ),
+    )
+
+
+def sweep_to_csv(sweep: TamSweep, alphas: Sequence[float] = ()) -> str:
+    """Serialise a TAM sweep (and optional cost columns) to CSV text."""
+    headers = ["tam_width", "testing_time", "data_volume"]
+    headers.extend(f"cost_alpha_{alpha}" for alpha in alphas)
+    rows = []
+    for width, time, volume in zip(sweep.widths, sweep.testing_times, sweep.data_volumes):
+        row: list = [width, time, volume]
+        row.extend(sweep.cost_at(width, alpha) for alpha in alphas)
+        rows.append(row)
+    return _write_csv(headers, rows)
+
+
+def series_to_csv(
+    series: Sequence[Tuple[Number, Number]], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Serialise an (x, y) figure series to CSV text."""
+    return _write_csv((x_label, y_label), series)
+
+
+def save_csv(text: str, path: Union[str, os.PathLike]) -> None:
+    """Write CSV text to a file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)

@@ -1,0 +1,155 @@
+"""Multisite testing model (the paper's motivation for Problem 3).
+
+Section 5 of the paper motivates narrow TAMs with *multisite testing*: one
+tester with a fixed number of digital channels and a fixed per-channel vector
+memory tests several SOCs ("sites") in parallel.  Narrower TAMs mean
+
+* more sites fit on the tester (``sites = channels // W``), and
+* the per-channel memory depth (= the SOC testing time, one stored bit per
+  cycle per channel) is more likely to fit the tester buffer, avoiding slow
+  buffer reloads from the workstation.
+
+This module turns those observations into a small quantitative model so the
+effective-TAM-width selection of Problem 3 can be evaluated in terms the
+paper's introduction uses: *throughput of a production batch*.
+
+The model is deliberately simple and fully documented:
+
+* a tester has ``channels`` digital channels and ``buffer_depth`` bits of
+  vector memory per channel;
+* testing one SOC at TAM width ``W`` takes ``T(W)`` cycles and needs a
+  per-channel depth of ``T(W)`` bits;
+* if the depth exceeds the buffer, the test data must be split into
+  ``ceil(T(W)/buffer_depth)`` segments and every segment beyond the first
+  costs ``reload_cycles`` cycles of tester time (the paper cites [3] for the
+  observation that these transfers dominate when frequent);
+* ``sites = max(1, channels // W)`` SOCs are tested in parallel, so a batch
+  of ``batch_size`` SOCs needs ``ceil(batch_size / sites)`` test insertions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.data_volume import TamSweep
+
+
+@dataclass(frozen=True)
+class TesterModel:
+    """A production tester: channel count, per-channel memory, reload cost.
+
+    Parameters
+    ----------
+    channels:
+        Number of digital tester channels available for TAM wires.
+    buffer_depth:
+        Per-channel vector memory, in bits (stored test-data bits per pin).
+    reload_cycles:
+        Tester cycles lost every time the vector memory must be refilled from
+        the workstation (only incurred when a test does not fit the buffer).
+    """
+
+    channels: int
+    buffer_depth: int
+    reload_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("a tester needs at least one channel")
+        if self.buffer_depth <= 0:
+            raise ValueError("buffer_depth must be positive")
+        if self.reload_cycles < 0:
+            raise ValueError("reload_cycles must be non-negative")
+
+    def sites(self, tam_width: int) -> int:
+        """How many SOCs with ``tam_width`` TAM wires fit on the tester."""
+        if tam_width <= 0:
+            raise ValueError("TAM width must be positive")
+        return max(1, self.channels // tam_width)
+
+    def buffer_reloads(self, testing_time: int) -> int:
+        """Number of vector-memory refills needed for one SOC test."""
+        if testing_time <= 0:
+            raise ValueError("testing time must be positive")
+        return math.ceil(testing_time / self.buffer_depth) - 1
+
+    def insertion_time(self, testing_time: int) -> int:
+        """Tester time for one test insertion (one group of parallel sites)."""
+        return testing_time + self.buffer_reloads(testing_time) * self.reload_cycles
+
+
+@dataclass(frozen=True)
+class MultisitePoint:
+    """Batch-level consequences of choosing one TAM width."""
+
+    width: int
+    testing_time: int
+    sites: int
+    buffer_reloads: int
+    insertion_time: int
+    insertions: int
+    batch_time: int
+
+    @property
+    def throughput(self) -> float:
+        """SOCs tested per million tester cycles."""
+        if self.batch_time == 0:
+            return 0.0
+        return 1e6 * self.insertions * self.sites / self.batch_time / max(self.insertions, 1)
+
+
+def evaluate_multisite(
+    sweep: TamSweep,
+    tester: TesterModel,
+    batch_size: int,
+    widths: Optional[Sequence[int]] = None,
+) -> List[MultisitePoint]:
+    """Evaluate batch testing time for every swept TAM width.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`~repro.core.data_volume.TamSweep` produced by
+        :func:`~repro.core.data_volume.sweep_tam_widths`.
+    tester:
+        The tester resource model.
+    batch_size:
+        Number of SOCs in the production batch.
+    widths:
+        Optional subset of the sweep's widths to evaluate.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    selected = list(widths) if widths is not None else list(sweep.widths)
+    points = []
+    for width in selected:
+        testing_time = sweep.testing_time_at(width)
+        sites = tester.sites(width)
+        reloads = tester.buffer_reloads(testing_time)
+        insertion = tester.insertion_time(testing_time)
+        insertions = math.ceil(batch_size / sites)
+        points.append(
+            MultisitePoint(
+                width=width,
+                testing_time=testing_time,
+                sites=sites,
+                buffer_reloads=reloads,
+                insertion_time=insertion,
+                insertions=insertions,
+                batch_time=insertions * insertion,
+            )
+        )
+    return points
+
+
+def best_multisite_width(
+    sweep: TamSweep,
+    tester: TesterModel,
+    batch_size: int,
+    widths: Optional[Sequence[int]] = None,
+) -> MultisitePoint:
+    """The TAM width minimising total batch testing time (ties: narrowest)."""
+    points = evaluate_multisite(sweep, tester, batch_size, widths)
+    return min(points, key=lambda point: (point.batch_time, point.width))

@@ -1,0 +1,145 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+The CLI, the examples and EXPERIMENTS.md all use these helpers so the output
+format stays consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.analysis.experiments import Table1Row, Table2Row
+
+Number = Union[int, float]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a list of rows as an aligned plain-text table."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def table1_to_text(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1 rows the way the paper prints them."""
+    headers = (
+        "SOC",
+        "W",
+        "Lower bound",
+        "Non-preemptive",
+        "Preemptive",
+        "Preempt+power",
+        "NP/LB",
+        "P/LB",
+    )
+    body = [
+        (
+            row.soc,
+            row.width,
+            row.lower_bound,
+            row.non_preemptive,
+            row.preemptive,
+            row.power_constrained,
+            row.non_preemptive_ratio,
+            row.preemptive_ratio,
+        )
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
+def table2_to_text(rows: Sequence[Table2Row]) -> str:
+    """Render Table 2 rows the way the paper prints them."""
+    headers = (
+        "SOC",
+        "alpha",
+        "T_min",
+        "W @ T_min",
+        "D_min",
+        "W @ D_min",
+        "C_min",
+        "W_e",
+        "T @ W_e",
+        "D @ W_e",
+    )
+    body = [
+        (
+            row.soc,
+            row.alpha,
+            row.min_testing_time,
+            row.width_of_min_time,
+            row.min_data_volume,
+            row.width_of_min_volume,
+            row.min_cost,
+            row.effective_width,
+            row.testing_time_at_effective,
+            row.data_volume_at_effective,
+        )
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
+def format_figure_series(
+    series: Sequence[Tuple[Number, Number]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as two aligned columns (figure data dump)."""
+    headers = (x_label, y_label)
+    return format_table(headers, series)
+
+
+def ascii_plot(
+    series: Sequence[Tuple[Number, Number]],
+    height: int = 16,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """A small dependency-free scatter/step plot for terminal inspection.
+
+    Used by the examples to visualise the Figure 1 staircase and the
+    Figure 9 curves without matplotlib.
+    """
+    if not series:
+        return "(no data)"
+    xs = [float(x) for x, _ in series]
+    ys = [float(y) for _, y in series]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * len(f"{y_max:.3g}") + " │" + "".join(row))
+    lines.append(f"{y_min:.3g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * len(f"{y_max:.3g}")
+        + "  "
+        + f"{x_min:.3g}".ljust(width - len(f"{x_max:.3g}"))
+        + f"{x_max:.3g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Command-line interface: ``repro-soc-test`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``benchmarks``
+    List the built-in benchmark SOCs and their headline statistics.
+``pareto``
+    Print the testing-time staircase and Pareto-optimal widths of one core
+    (Figure 1 of the paper).
+``schedule``
+    Schedule one SOC at one TAM width and print the resulting Gantt chart.
+``table1``
+    Regenerate Table 1 (lower bound / non-preemptive / preemptive /
+    power-constrained testing times).
+``table2``
+    Regenerate Table 2 (effective TAM widths for tester data volume
+    reduction).
+``sweep``
+    Print the ``T(W)`` and ``D(W)`` curves of Figure 9 for one SOC.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import figure1_staircase, run_table1, run_table2
+from repro.analysis.reporting import (
+    ascii_plot,
+    format_figure_series,
+    table1_to_text,
+    table2_to_text,
+)
+from repro.core.data_volume import sweep_tam_widths
+from repro.core.lower_bounds import lower_bound
+from repro.core.scheduler import SchedulerConfig, schedule_soc
+from repro.schedule.gantt import render_gantt
+from repro.soc.benchmarks import get_benchmark, list_benchmarks
+from repro.soc.itc02 import load_soc
+
+
+def _load(args: argparse.Namespace):
+    """Resolve the SOC named on the command line (benchmark name or file path)."""
+    name = args.soc
+    if name in list_benchmarks():
+        return get_benchmark(name), None
+    soc, constraints = load_soc(name)
+    return soc, constraints
+
+
+def _add_soc_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "soc",
+        help="benchmark name (%s) or path to an SOC description file"
+        % ", ".join(list_benchmarks()),
+    )
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> int:
+    for name in list_benchmarks():
+        soc = get_benchmark(name)
+        print(
+            f"{name}: {len(soc)} cores, {soc.total_scan_cells} scan cells, "
+            f"{soc.total_patterns} patterns, {soc.total_test_bits} test bits"
+        )
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    soc, _ = _load(args)
+    core = soc.core(args.core)
+    series = figure1_staircase(core, max_width=args.max_width)
+    print(ascii_plot(series, title=f"Testing time vs TAM width for {core.name} ({soc.name})"))
+    print()
+    print(format_figure_series(series, x_label="TAM width", y_label="testing time"))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    soc, constraints = _load(args)
+    config = SchedulerConfig(percent=args.percent, delta=args.delta)
+    schedule = schedule_soc(soc, args.width, constraints=constraints, config=config)
+    print(render_gantt(schedule))
+    print()
+    print(f"lower bound : {lower_bound(soc, args.width)} cycles")
+    print(f"testing time: {schedule.makespan} cycles")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    soc, _ = _load(args)
+    widths = args.widths or None
+    rows = run_table1(soc, widths=widths)
+    print(table1_to_text(rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    soc, _ = _load(args)
+    widths = tuple(range(args.min_width, args.max_width + 1, args.step))
+    rows, _sweep = run_table2(soc, widths=widths, alphas=args.alphas or None)
+    print(table2_to_text(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    soc, _ = _load(args)
+    widths = tuple(range(args.min_width, args.max_width + 1, args.step))
+    sweep = sweep_tam_widths(soc, widths)
+    time_series = list(zip(sweep.widths, sweep.testing_times))
+    volume_series = list(zip(sweep.widths, sweep.data_volumes))
+    print(ascii_plot(time_series, title=f"{soc.name}: testing time T(W)"))
+    print()
+    print(ascii_plot(volume_series, title=f"{soc.name}: tester data volume D(W)"))
+    print()
+    print(
+        format_figure_series(
+            [(w, f"{t} / {d}") for (w, t), (_, d) in zip(time_series, volume_series)],
+            x_label="TAM width",
+            y_label="testing time / data volume",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-soc-test",
+        description="Wrapper/TAM co-optimization, test scheduling and data volume reduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser("benchmarks", help="list built-in benchmark SOCs")
+    p_bench.set_defaults(func=_cmd_benchmarks)
+
+    p_pareto = sub.add_parser("pareto", help="testing-time staircase for one core")
+    _add_soc_argument(p_pareto)
+    p_pareto.add_argument("core", help="core name, e.g. 'Core 6' or 's38417'")
+    p_pareto.add_argument("--max-width", type=int, default=64)
+    p_pareto.set_defaults(func=_cmd_pareto)
+
+    p_sched = sub.add_parser("schedule", help="schedule an SOC at one TAM width")
+    _add_soc_argument(p_sched)
+    p_sched.add_argument("width", type=int, help="total SOC TAM width")
+    p_sched.add_argument("--percent", type=float, default=5.0)
+    p_sched.add_argument("--delta", type=int, default=0)
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1 for one SOC")
+    _add_soc_argument(p_t1)
+    p_t1.add_argument("--widths", type=int, nargs="*", help="TAM widths to evaluate")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2 for one SOC")
+    _add_soc_argument(p_t2)
+    p_t2.add_argument("--alphas", type=float, nargs="*")
+    p_t2.add_argument("--min-width", type=int, default=8)
+    p_t2.add_argument("--max-width", type=int, default=64)
+    p_t2.add_argument("--step", type=int, default=2)
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_sweep = sub.add_parser("sweep", help="T(W) and D(W) curves for one SOC")
+    _add_soc_argument(p_sweep)
+    p_sweep.add_argument("--min-width", type=int, default=4)
+    p_sweep.add_argument("--max-width", type=int, default=80)
+    p_sweep.add_argument("--step", type=int, default=2)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Rectangle representation of core tests (paper Section 3).
+
+Each core's test is represented by a *set* of rectangles, one per
+Pareto-optimal TAM width: the rectangle height is the TAM width and its width
+is the core testing time at that TAM width.  The generalized rectangle
+packing problem ``P_rp`` selects one rectangle per core and packs them into a
+bin of height ``W`` (the total SOC TAM width) minimizing the filled width
+(the SOC testing time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+from repro.wrapper.design_wrapper import preemption_overhead
+from repro.wrapper.pareto import (
+    DEFAULT_MAX_WIDTH,
+    ParetoPoint,
+    pareto_points,
+    preferred_width,
+)
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """One candidate rectangle for a core: (TAM width, testing time)."""
+
+    core: str
+    width: int
+    time: int
+
+    @property
+    def area(self) -> int:
+        """TAM wire-cycles occupied by this rectangle."""
+        return self.width * self.time
+
+
+class RectangleSet:
+    """The Pareto-optimal rectangles for one core (set ``R_i`` in the paper)."""
+
+    def __init__(self, core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> None:
+        if max_width <= 0:
+            raise ValueError("max_width must be positive")
+        self._core = core
+        self._max_width = max_width
+        self._points: Tuple[ParetoPoint, ...] = tuple(pareto_points(core, max_width))
+
+    # ------------------------------------------------------------------
+    @property
+    def core(self) -> Core:
+        """The core these rectangles describe."""
+        return self._core
+
+    @property
+    def core_name(self) -> str:
+        """The core's name."""
+        return self._core.name
+
+    @property
+    def max_width(self) -> int:
+        """Maximum TAM width considered when enumerating Pareto points."""
+        return self._max_width
+
+    @property
+    def points(self) -> Tuple[ParetoPoint, ...]:
+        """All Pareto-optimal (width, time) points, by increasing width."""
+        return self._points
+
+    @property
+    def rectangles(self) -> List[Rectangle]:
+        """The Pareto-optimal rectangles as :class:`Rectangle` objects."""
+        return [
+            Rectangle(core=self._core.name, width=point.width, time=point.time)
+            for point in self._points
+        ]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # Width / time lookups
+    # ------------------------------------------------------------------
+    def effective_width(self, width: int) -> int:
+        """Largest Pareto-optimal width that is <= ``width``.
+
+        Assigning any width between two Pareto points wastes wires; the
+        scheduler therefore snaps every assignment down to a Pareto width.
+        """
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        best = self._points[0].width
+        for point in self._points:
+            if point.width <= width:
+                best = point.width
+            else:
+                break
+        return best
+
+    def time_at(self, width: int) -> int:
+        """Core testing time when given ``width`` TAM wires."""
+        effective = self.effective_width(width)
+        for point in self._points:
+            if point.width == effective:
+                return point.time
+        raise AssertionError("effective width must be a Pareto point")
+
+    @property
+    def max_pareto_width(self) -> int:
+        """The largest Pareto-optimal width."""
+        return self._points[-1].width
+
+    @property
+    def min_time(self) -> int:
+        """The smallest achievable testing time (at the largest Pareto width)."""
+        return self._points[-1].time
+
+    @property
+    def min_area(self) -> int:
+        """``min_w w * T(w)`` -- used by the lower bound of Table 1."""
+        return min(point.area for point in self._points)
+
+    def preferred_width(self, percent: float, delta: int, width_cap: int) -> int:
+        """The paper's preferred width, clamped to a Pareto width <= ``width_cap``."""
+        cap = max(1, min(self._max_width, width_cap))
+        width = preferred_width(self._core, max_width=cap, percent=percent, delta=delta)
+        return self.effective_width(min(width, cap))
+
+    def preemption_overhead(self, width: int) -> int:
+        """Cycles added each time this core's test is preempted at ``width``."""
+        return preemption_overhead(self._core, self.effective_width(width))
+
+
+def build_rectangle_sets(
+    soc: Soc, max_width: int = DEFAULT_MAX_WIDTH
+) -> Dict[str, RectangleSet]:
+    """Build the collection ``R`` of Pareto-optimal rectangle sets for an SOC."""
+    return {core.name: RectangleSet(core, max_width=max_width) for core in soc.cores}

@@ -1,0 +1,530 @@
+"""``TAM_schedule_optimizer``: integrated wrapper/TAM co-optimization and
+constraint-driven, selectively preemptive test scheduling (paper Figures 4-8).
+
+The scheduler is an event-driven greedy rectangle packer:
+
+* **Preferred widths** (subroutine ``Initialize``, Figure 5): every core gets
+  a preferred TAM width -- the smallest width whose testing time is within
+  ``percent`` % of its time at the maximum allowable width, bumped to the
+  highest Pareto width when the gap is at most ``delta`` wires.
+* **Priority-driven assignment** (Figure 4): whenever TAM wires are free the
+  scheduler repeatedly picks one core and starts (or resumes) its test:
+
+  1. paused cores that have exhausted their preemption budget are resumed
+     first (paper Priority 1);
+  2. paused cores resume at their fixed assigned width and not-yet-started
+     cores start at their preferred width, in order of decreasing remaining
+     testing time (paper Priorities 2 and 3 -- see note below);
+  3. if nothing fits, a not-yet-started core whose preferred width is within
+     ``insertion_slack`` wires of the free width is squeezed into the idle
+     time at the free width (Figure 4 lines 13-14);
+  4. remaining free wires are given to a core that began at the current
+     instant, raising its width to the highest Pareto width that fits
+     (Figure 4 lines 15-16).
+
+* **Events** (subroutine ``Update``, Figure 8): time advances to the earliest
+  completion among running tests.  Completed tests free their wires;
+  running tests that may still be preempted are paused and re-compete for
+  wires, while non-preemptable (or budget-exhausted) tests keep their wires.
+  A pause that is followed by a seamless resume costs nothing; a pause that
+  leaves a gap counts as a preemption and adds ``s_in + s_out`` cycles to the
+  test (Figure 6 line 5).
+
+**Interpretation note.**  The paper's pseudocode resumes every previously
+running test before admitting new tests (Priority 2 strictly ahead of
+Priority 3), which -- because a set of tests that ran together can always be
+resumed together -- would never actually produce a preemption.  To make
+*selective preemption* meaningful we follow the paper's stated intent
+("tests may be preempted and resumed ... the system integrator designates a
+group of tests as preemptable") and let paused preemptable tests compete
+with unstarted tests on remaining testing time; with preemption disabled
+(``max_preemptions == 0``, the default) running tests are never paused and
+the scheduler is exactly the paper's non-preemptive variant.  Setting
+``strict_priority_resume=True`` in :class:`SchedulerConfig` restores the
+literal pseudocode ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.rectangles import RectangleSet, build_rectangle_sets
+from repro.schedule.schedule import ScheduleSegment, TestSchedule
+from repro.soc.constraints import ConstraintSet
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import DEFAULT_MAX_WIDTH
+
+
+class SchedulerError(RuntimeError):
+    """Raised when an SOC cannot be scheduled under the given constraints."""
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunable parameters of ``TAM_schedule_optimizer``.
+
+    Parameters
+    ----------
+    percent:
+        The ``q`` parameter: a core's preferred width is the smallest width
+        whose testing time is within ``percent`` % of its testing time at the
+        maximum allowable width.  The paper sweeps 1..10.
+    delta:
+        Bump the preferred width to the core's highest Pareto-optimal width if
+        the difference is at most ``delta`` wires (the bottleneck-core
+        heuristic).  The paper sweeps 0..4.
+    max_core_width:
+        Maximum TAM width ever assigned to a single core (``W_max``, 64 in the
+        paper).
+    insertion_slack:
+        A not-yet-started core may be squeezed into idle wires when its
+        preferred width is within this many wires of the available width
+        (the paper found 3 to work best).
+    enable_idle_insertion:
+        Enable the idle-time rectangle-insertion heuristic.
+    enable_width_increase:
+        Enable the "give leftover wires to a core that just started"
+        heuristic.
+    strict_priority_resume:
+        Resume paused tests strictly before starting new ones (the literal
+        pseudocode ordering).  See the module docstring.
+    """
+
+    percent: float = 5.0
+    delta: int = 0
+    max_core_width: int = DEFAULT_MAX_WIDTH
+    insertion_slack: int = 3
+    enable_idle_insertion: bool = True
+    enable_width_increase: bool = True
+    strict_priority_resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.percent < 0:
+            raise ValueError("percent must be non-negative")
+        if self.delta < 0:
+            raise ValueError("delta must be non-negative")
+        if self.max_core_width <= 0:
+            raise ValueError("max_core_width must be positive")
+        if self.insertion_slack < 0:
+            raise ValueError("insertion_slack must be non-negative")
+
+
+@dataclass
+class _CoreState:
+    """Mutable bookkeeping for one core (the data structure of Figure 3)."""
+
+    name: str
+    rectangles: RectangleSet
+    preferred_width: int
+    max_preemptions: int
+    power: float
+    bist_resource: Optional[str]
+    remaining: int = 0
+    assigned_width: Optional[int] = None
+    begun: bool = False
+    running: bool = False
+    complete: bool = False
+    preemptions: int = 0
+    first_begin: Optional[int] = None
+    end_time: Optional[int] = None
+    run_start: Optional[int] = None
+    segments: List[ScheduleSegment] = field(default_factory=list)
+
+    @property
+    def paused(self) -> bool:
+        """True if the test has begun, is not running, and is not complete."""
+        return self.begun and not self.running and not self.complete
+
+    @property
+    def unstarted(self) -> bool:
+        """True if the test has not begun yet."""
+        return not self.begun and not self.complete
+
+    def candidate_width(self, total_width: int) -> int:
+        """Width this core would occupy if scheduled next."""
+        if self.begun:
+            assert self.assigned_width is not None
+            return self.assigned_width
+        return min(self.preferred_width, total_width)
+
+    def candidate_remaining(self) -> int:
+        """Remaining testing time used to rank this core."""
+        if self.begun:
+            return self.remaining
+        return self.rectangles.time_at(self.preferred_width)
+
+
+class _Scheduler:
+    """One scheduling run; see :func:`schedule_soc` for the public entry point."""
+
+    def __init__(
+        self,
+        soc: Soc,
+        total_width: int,
+        constraints: ConstraintSet,
+        config: SchedulerConfig,
+    ) -> None:
+        if total_width <= 0:
+            raise SchedulerError("total TAM width must be positive")
+        self.soc = soc
+        self.total_width = total_width
+        self.constraints = constraints
+        self.config = config
+        self.current_time = 0
+        width_cap = min(config.max_core_width, total_width)
+        self.rectangle_sets = build_rectangle_sets(soc, max_width=config.max_core_width)
+        self.states: Dict[str, _CoreState] = {}
+        for core in soc.cores:
+            rect = self.rectangle_sets[core.name]
+            preferred = rect.preferred_width(config.percent, config.delta, width_cap)
+            self.states[core.name] = _CoreState(
+                name=core.name,
+                rectangles=rect,
+                preferred_width=preferred,
+                max_preemptions=constraints.preemption_limit(core.name),
+                power=core.test_power,
+                bist_resource=core.bist_resource,
+            )
+        self._check_feasibility()
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def _check_feasibility(self) -> None:
+        power_max = self.constraints.power_max
+        if power_max is None:
+            return
+        for state in self.states.values():
+            if state.power > power_max:
+                raise SchedulerError(
+                    f"core {state.name!r} dissipates {state.power} during test, "
+                    f"which exceeds the SOC power budget {power_max}"
+                )
+
+    # ------------------------------------------------------------------
+    # Conflict checks (paper Figure 7)
+    # ------------------------------------------------------------------
+    def _running_states(self) -> List[_CoreState]:
+        return [state for state in self.states.values() if state.running]
+
+    def _width_available(self) -> int:
+        in_use = sum(state.assigned_width or 0 for state in self._running_states())
+        return self.total_width - in_use
+
+    def _conflicts(self, state: _CoreState) -> bool:
+        """True if scheduling ``state`` right now would violate a constraint."""
+        # Precedence: every predecessor must be complete before the first start.
+        if not state.begun:
+            for before in self.constraints.predecessors_of(state.name):
+                if before in self.states and not self.states[before].complete:
+                    return True
+        running = self._running_states()
+        # Concurrency constraints against currently running tests.
+        for other in running:
+            if not self.constraints.allows_concurrent(state.name, other.name):
+                return True
+            if (
+                state.bist_resource is not None
+                and other.bist_resource == state.bist_resource
+            ):
+                return True
+        # Power budget.
+        power_max = self.constraints.power_max
+        if power_max is not None:
+            total_power = sum(other.power for other in running) + state.power
+            if total_power > power_max + 1e-9:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def _start(self, state: _CoreState, width: int) -> None:
+        """Start or resume a core test at the given width (paper ``Assign``)."""
+        width = state.rectangles.effective_width(width)
+        if state.begun:
+            assert state.assigned_width is not None
+            width = state.assigned_width  # widths are fixed once packed
+            if state.end_time is not None and state.end_time < self.current_time:
+                # True preemption: resuming after a gap costs an extra
+                # scan-out + scan-in (Figure 6, line 5).
+                state.preemptions += 1
+                state.remaining += state.rectangles.preemption_overhead(width)
+        else:
+            state.assigned_width = width
+            state.remaining = state.rectangles.time_at(width)
+            state.begun = True
+            state.first_begin = self.current_time
+        state.running = True
+        state.run_start = self.current_time
+
+    def _pause(self, state: _CoreState) -> None:
+        """Stop a running test at the current time and record its segment."""
+        assert state.running and state.run_start is not None
+        elapsed = self.current_time - state.run_start
+        if elapsed > 0:
+            self._emit_segment(state, state.run_start, self.current_time)
+            state.remaining -= elapsed
+        state.running = False
+        state.run_start = None
+        state.end_time = self.current_time
+        if state.remaining <= 0:
+            state.remaining = 0
+            state.complete = True
+
+    def _emit_segment(self, state: _CoreState, start: int, end: int) -> None:
+        assert state.assigned_width is not None
+        if state.segments:
+            last = state.segments[-1]
+            if last.end == start and last.width == state.assigned_width:
+                state.segments[-1] = ScheduleSegment(
+                    core=state.name, start=last.start, end=end, width=last.width
+                )
+                return
+        state.segments.append(
+            ScheduleSegment(
+                core=state.name, start=start, end=end, width=state.assigned_width
+            )
+        )
+
+    def _exhausted_paused(self) -> List[_CoreState]:
+        return [
+            state
+            for state in self.states.values()
+            if state.paused and state.preemptions >= state.max_preemptions
+        ]
+
+    def _select_candidate(self, width_available: int) -> Optional[Tuple[_CoreState, int]]:
+        """Pick the next core to schedule, or ``None`` if nothing fits."""
+        # Priority 1: paused tests that may not be preempted again.
+        priority1 = [
+            state
+            for state in self._exhausted_paused()
+            if (state.assigned_width or 0) <= width_available
+            and not self._conflicts(state)
+        ]
+        if priority1:
+            state = max(priority1, key=lambda s: (s.remaining, s.name))
+            return state, state.assigned_width or 1
+
+        paused = [state for state in self.states.values() if state.paused]
+        unstarted = [state for state in self.states.values() if state.unstarted]
+
+        def eligible(pool: Iterable[_CoreState]) -> List[Tuple[_CoreState, int]]:
+            found = []
+            for state in pool:
+                width = state.candidate_width(self.total_width)
+                if width > width_available:
+                    # An unstarted core whose preferred width slightly exceeds
+                    # the free wires may still be squeezed in (paper Figure 4
+                    # line 13: "within 3 bits of the preferred width").
+                    if (
+                        state.begun
+                        or not self.config.enable_idle_insertion
+                        or width - width_available > self.config.insertion_slack
+                    ):
+                        continue
+                    width = width_available
+                if not self._conflicts(state):
+                    found.append((state, width))
+            return found
+
+        if self.config.strict_priority_resume:
+            # Literal pseudocode ordering: Priority 2 then Priority 3.
+            for pool in (paused, unstarted):
+                candidates = eligible(pool)
+                if candidates:
+                    return max(
+                        candidates, key=lambda item: (item[0].candidate_remaining(), item[0].name)
+                    )
+        else:
+            # Merged Priorities 2/3: longest remaining test first; paused tests
+            # win ties so seamless resumption is preferred.
+            candidates = eligible(paused) + eligible(unstarted)
+            if candidates:
+                return max(
+                    candidates,
+                    key=lambda item: (
+                        item[0].candidate_remaining(),
+                        item[0].begun,
+                        item[0].name,
+                    ),
+                )
+
+        # Idle-time rectangle insertion (Figure 4 lines 13-14).
+        if self.config.enable_idle_insertion and width_available >= 1:
+            squeezable = [
+                state
+                for state in unstarted
+                if state.preferred_width <= width_available + self.config.insertion_slack
+                and not self._conflicts(state)
+            ]
+            if squeezable:
+                state = min(squeezable, key=lambda s: (s.preferred_width, s.name))
+                return state, width_available
+        return None
+
+    def _try_width_increase(self, width_available: int) -> bool:
+        """Give leftover wires to a core that began now (Figure 4 lines 15-16)."""
+        if not self.config.enable_width_increase or width_available <= 0:
+            return False
+        best: Optional[_CoreState] = None
+        best_gain = 0
+        best_width = 0
+        for state in self._running_states():
+            if state.first_begin != self.current_time or state.run_start != self.current_time:
+                continue
+            if state.preemptions or len(state.segments) > 0:
+                continue  # only brand-new tests may still change width
+            assert state.assigned_width is not None
+            new_width = state.rectangles.effective_width(
+                min(
+                    state.assigned_width + width_available,
+                    self.config.max_core_width,
+                    self.total_width,
+                )
+            )
+            if new_width <= state.assigned_width:
+                continue
+            gain = state.rectangles.time_at(state.assigned_width) - state.rectangles.time_at(
+                new_width
+            )
+            if gain > best_gain:
+                best, best_gain, best_width = state, gain, new_width
+        if best is None:
+            return False
+        best.assigned_width = best_width
+        best.remaining = best.rectangles.time_at(best_width)
+        return True
+
+    def _assignment_phase(self) -> None:
+        while True:
+            width_available = self._width_available()
+            if width_available <= 0:
+                return
+            candidate = self._select_candidate(width_available)
+            if candidate is None:
+                # Nothing fits; hand leftover wires to a test that just began.
+                while self._try_width_increase(self._width_available()):
+                    pass
+                return
+            state, width = candidate
+            self._start(state, width)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        running = self._running_states()
+        if not running:
+            blocked = [s.name for s in self.states.values() if not s.complete]
+            raise SchedulerError(
+                "no test can be scheduled and none is running; the constraints are "
+                f"unsatisfiable for cores {blocked}"
+            )
+        next_time = min(
+            (state.run_start or 0) + state.remaining for state in running
+        )
+        assert next_time > self.current_time
+        self.current_time = next_time
+        for state in running:
+            finish = (state.run_start or 0) + state.remaining
+            if finish <= self.current_time:
+                self._pause(state)  # records segment and marks complete
+            elif state.preemptions < state.max_preemptions:
+                # Preemptable test: pause it so it re-competes for wires.
+                self._pause(state)
+            # else: non-preemptable (or exhausted) tests keep running.
+
+    def run(self) -> TestSchedule:
+        """Execute the scheduler and return the packed schedule."""
+        total_cores = len(self.states)
+        safety_limit = 10 * total_cores * (max(s.max_preemptions for s in self.states.values()) + 2)
+        iterations = 0
+        while any(not state.complete for state in self.states.values()):
+            iterations += 1
+            if iterations > max(safety_limit, 1000):
+                raise SchedulerError(
+                    "scheduler failed to converge; this indicates an internal error"
+                )
+            self._assignment_phase()
+            if all(state.complete for state in self.states.values()):
+                break
+            self._advance()
+        segments: List[ScheduleSegment] = []
+        for state in self.states.values():
+            segments.extend(state.segments)
+        return TestSchedule(
+            soc_name=self.soc.name,
+            total_width=self.total_width,
+            segments=tuple(segments),
+        )
+
+
+def schedule_soc(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> TestSchedule:
+    """Schedule all core tests of ``soc`` on a TAM of ``total_width`` wires.
+
+    This is the library's main entry point: it performs wrapper/TAM
+    co-optimization (via the Pareto rectangle sets) and constraint-driven,
+    selectively preemptive test scheduling in one pass, returning a
+    :class:`~repro.schedule.schedule.TestSchedule`.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to schedule.
+    total_width:
+        Total SOC TAM width ``W`` (bin height).
+    constraints:
+        Precedence/concurrency/power/preemption constraints; ``None`` means
+        unconstrained, non-preemptive scheduling (the paper's Problem 1).
+    config:
+        Heuristic parameters; see :class:`SchedulerConfig`.
+    """
+    constraints = constraints or ConstraintSet.unconstrained()
+    config = config or SchedulerConfig()
+    constraints.validate_for(soc)
+    scheduler = _Scheduler(soc, total_width, constraints, config)
+    return scheduler.run()
+
+
+def best_schedule(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    percents: Sequence[float] = (1, 5, 10, 25, 40, 60, 75),
+    deltas: Sequence[int] = (0, 2, 4),
+    slacks: Sequence[int] = (0, 3, 6),
+    config: Optional[SchedulerConfig] = None,
+) -> TestSchedule:
+    """Run the scheduler over a (``percent``, ``delta``, ``slack``) grid, keep the best.
+
+    The paper tabulates the best result over all integer ``1 <= q <= 10`` and
+    ``0 <= delta <= 4`` (with the idle-insertion slack fixed at 3); this
+    helper reproduces that experimental protocol with a configurable grid.
+    The default grid is slightly wider than the paper's because the synthetic
+    Philips stand-ins reward smaller preferred widths at narrow TAMs.
+    """
+    base = config or SchedulerConfig()
+    best: Optional[TestSchedule] = None
+    for percent in percents:
+        for delta in deltas:
+            for slack in slacks:
+                candidate = schedule_soc(
+                    soc,
+                    total_width,
+                    constraints=constraints,
+                    config=replace(
+                        base, percent=percent, delta=delta, insertion_slack=slack
+                    ),
+                )
+                if best is None or candidate.makespan < best.makespan:
+                    best = candidate
+    assert best is not None
+    return best

@@ -1,0 +1,26 @@
+"""Test-schedule data structures, validation and rendering.
+
+A :class:`~repro.schedule.schedule.TestSchedule` is the output of every
+scheduler in this library (the paper's rectangle-packing scheduler and all
+baselines).  It is a list of :class:`~repro.schedule.schedule.ScheduleSegment`
+entries -- one per contiguous run of a core test at a fixed TAM width -- plus
+derived quantities (makespan, TAM utilisation, preemption counts) and a
+:meth:`~repro.schedule.schedule.TestSchedule.validate` method that checks the
+schedule against the SOC, the total TAM width and a constraint set.
+"""
+
+from repro.schedule.schedule import (
+    CoreScheduleSummary,
+    ScheduleError,
+    ScheduleSegment,
+    TestSchedule,
+)
+from repro.schedule.gantt import render_gantt
+
+__all__ = [
+    "ScheduleSegment",
+    "TestSchedule",
+    "CoreScheduleSummary",
+    "ScheduleError",
+    "render_gantt",
+]

@@ -1,0 +1,73 @@
+"""ASCII Gantt-chart rendering of test schedules (paper Figure 2).
+
+The chart has one row per core.  Time runs left to right, quantised into a
+fixed number of columns.  A filled block marks an interval during which the
+core's test occupies TAM wires; the number of wires is printed next to the
+core name.  This is deliberately terminal-friendly: the paper's Figure 2 is
+exactly this picture (rectangles packed into a bin of height ``W``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schedule.schedule import TestSchedule
+
+_FILL = "#"
+_EMPTY = "."
+
+
+def render_gantt(
+    schedule: TestSchedule,
+    columns: int = 72,
+    label_width: Optional[int] = None,
+) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw.
+    columns:
+        Number of character columns used for the time axis.
+    label_width:
+        Width reserved for core labels; defaults to the longest label.
+    """
+    if columns <= 0:
+        raise ValueError("columns must be positive")
+    makespan = schedule.makespan
+    if makespan == 0:
+        return "(empty schedule)"
+
+    cores = schedule.scheduled_cores
+    labels = {}
+    for core in cores:
+        summary = schedule.core_summary(core)
+        widths = "/".join(str(w) for w in sorted(set(summary.widths)))
+        labels[core] = f"{core} [w={widths}]"
+    if label_width is None:
+        label_width = max(len(label) for label in labels.values())
+
+    scale = columns / makespan
+    lines: List[str] = [
+        f"SOC {schedule.soc_name}: TAM width {schedule.total_width}, "
+        f"testing time {makespan} cycles",
+    ]
+    for core in cores:
+        row = [_EMPTY] * columns
+        for segment in schedule.segments_for(core):
+            first = min(int(segment.start * scale), columns - 1)
+            last = min(int(segment.end * scale), columns)
+            if last <= first:
+                last = first + 1
+            for col in range(first, last):
+                row[col] = _FILL
+        lines.append(f"{labels[core]:<{label_width}} |{''.join(row)}|")
+
+    axis = f"{'':<{label_width}} |{'0':<{columns - len(str(makespan))}}{makespan}|"
+    lines.append(axis)
+    lines.append(
+        f"{'':<{label_width}}  TAM utilisation {schedule.tam_utilization:.1%}, "
+        f"idle area {schedule.idle_area} wire-cycles"
+    )
+    return "\n".join(lines)

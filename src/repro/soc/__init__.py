@@ -1,0 +1,59 @@
+"""SOC and core data model, constraints, benchmarks and the ITC'02-style file format.
+
+This subpackage is the substrate that everything else builds on.  It knows
+nothing about wrappers, TAMs or schedules; it only describes *what* has to be
+tested:
+
+* :class:`~repro.soc.core.Core` -- one embedded core and its test-set
+  parameters (functional I/Os, test patterns, internal scan chains).
+* :class:`~repro.soc.soc.Soc` -- a system-on-chip: a named collection of cores.
+* :class:`~repro.soc.constraints.ConstraintSet` -- precedence, concurrency,
+  power and preemption constraints used by the constraint-driven scheduler.
+* :mod:`~repro.soc.itc02` -- a plain-text file format (modelled after the
+  ITC'02 SOC Test Benchmark format) plus parser and writer.
+* :mod:`~repro.soc.benchmarks` -- the four SOCs used in the paper's
+  evaluation: ``d695`` and synthetic stand-ins for the Philips SOCs
+  ``p22810``, ``p34392`` and ``p93791``.
+"""
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc, SocValidationError
+from repro.soc.constraints import ConstraintSet, ConstraintError
+from repro.soc.itc02 import (
+    SocFormatError,
+    format_soc,
+    load_soc,
+    parse_soc,
+    save_soc,
+)
+from repro.soc.benchmarks import (
+    d695,
+    get_benchmark,
+    list_benchmarks,
+    p22810,
+    p34392,
+    p93791,
+)
+from repro.soc.generator import GeneratorProfile, generate_soc, generate_soc_family
+
+__all__ = [
+    "GeneratorProfile",
+    "generate_soc",
+    "generate_soc_family",
+    "Core",
+    "Soc",
+    "SocValidationError",
+    "ConstraintSet",
+    "ConstraintError",
+    "SocFormatError",
+    "parse_soc",
+    "format_soc",
+    "load_soc",
+    "save_soc",
+    "d695",
+    "p22810",
+    "p34392",
+    "p93791",
+    "get_benchmark",
+    "list_benchmarks",
+]

@@ -1,0 +1,266 @@
+"""Constraint model for constraint-driven test scheduling (paper Section 4).
+
+Four kinds of constraints are supported, exactly the ones the paper's
+``Conflict`` subroutine (Figure 7) checks:
+
+* **Precedence** ``a < b``: the test of core *a* must complete before the
+  test of core *b* begins.  Used for abort-at-first-fail ordering and for
+  testing memories early so they can be reused for system test.
+* **Concurrency** ``a ~/~ b``: the tests of cores *a* and *b* must never
+  overlap in time.  Used e.g. for hierarchical parent/child cores.
+* **Power**: the sum of the power values of all concurrently running tests
+  must never exceed ``power_max``.
+* **Preemption limits**: each core may be preempted at most
+  ``max_preemptions[core]`` times (0 = non-preemptable).
+
+BIST-scan conflicts are derived from :attr:`repro.soc.core.Core.bist_resource`
+and do not need to be listed explicitly; :meth:`ConstraintSet.for_soc`
+materialises them (and hierarchy conflicts) as concurrency constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.soc.soc import Soc
+
+
+class ConstraintError(ValueError):
+    """Raised when a constraint set is inconsistent with an SOC."""
+
+
+def _normalize_pairs(pairs: Iterable[Sequence[str]]) -> Tuple[Tuple[str, str], ...]:
+    normalized = []
+    for pair in pairs:
+        a, b = pair
+        normalized.append((str(a), str(b)))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """A bundle of scheduling constraints for one SOC.
+
+    Parameters
+    ----------
+    precedence:
+        Ordered pairs ``(before, after)``: the test of ``before`` must
+        complete before the test of ``after`` starts.
+    concurrency:
+        Unordered pairs of core names whose tests must not overlap.
+    power_max:
+        Maximum total power that may be dissipated at any moment during
+        test, or ``None`` for no power constraint.
+    max_preemptions:
+        Per-core limit on the number of preemptions.  Cores not listed use
+        ``default_preemptions``.
+    default_preemptions:
+        Preemption limit for cores not present in ``max_preemptions``.
+        The default of 0 makes scheduling non-preemptive.
+    """
+
+    precedence: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    concurrency: Tuple[FrozenSet[str], ...] = field(default_factory=tuple)
+    power_max: Optional[float] = None
+    max_preemptions: Mapping[str, int] = field(default_factory=dict)
+    default_preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "precedence", _normalize_pairs(self.precedence))
+        pairs = []
+        for pair in self.concurrency:
+            members = frozenset(str(name) for name in pair)
+            if len(members) != 2:
+                raise ConstraintError(
+                    f"concurrency constraint must involve two distinct cores, got {pair!r}"
+                )
+            pairs.append(members)
+        object.__setattr__(self, "concurrency", tuple(pairs))
+        object.__setattr__(self, "max_preemptions", dict(self.max_preemptions))
+        if self.power_max is not None and self.power_max <= 0:
+            raise ConstraintError("power_max must be positive when given")
+        if self.default_preemptions < 0:
+            raise ConstraintError("default_preemptions must be non-negative")
+        for name, limit in self.max_preemptions.items():
+            if limit < 0:
+                raise ConstraintError(
+                    f"max_preemptions[{name!r}] must be non-negative, got {limit}"
+                )
+        for before, after in self.precedence:
+            if before == after:
+                raise ConstraintError(
+                    f"precedence constraint cannot relate {before!r} to itself"
+                )
+        self._check_acyclic()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_acyclic(self) -> None:
+        """Detect cycles in the precedence relation (they make scheduling impossible)."""
+        successors: Dict[str, Set[str]] = {}
+        for before, after in self.precedence:
+            successors.setdefault(before, set()).add(after)
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, stack: Tuple[str, ...]) -> None:
+            state = visited.get(node)
+            if state == 1:
+                return
+            if state == 0:
+                cycle = " -> ".join(stack + (node,))
+                raise ConstraintError(f"precedence constraints contain a cycle: {cycle}")
+            visited[node] = 0
+            for nxt in successors.get(node, ()):
+                visit(nxt, stack + (node,))
+            visited[node] = 1
+
+        for node in list(successors):
+            visit(node, ())
+
+    def validate_for(self, soc: Soc) -> None:
+        """Check that every constrained core exists in ``soc``."""
+        names = set(soc.core_names)
+        referenced: Set[str] = set()
+        for before, after in self.precedence:
+            referenced.update((before, after))
+        for pair in self.concurrency:
+            referenced.update(pair)
+        referenced.update(self.max_preemptions)
+        unknown = sorted(referenced - names)
+        if unknown:
+            raise ConstraintError(
+                f"constraints reference cores not present in SOC {soc.name!r}: {unknown}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries used by the scheduler
+    # ------------------------------------------------------------------
+    def predecessors_of(self, name: str) -> Tuple[str, ...]:
+        """Cores whose tests must complete before ``name`` may begin."""
+        return tuple(before for before, after in self.precedence if after == name)
+
+    def successors_of(self, name: str) -> Tuple[str, ...]:
+        """Cores whose tests may only begin after ``name`` completes."""
+        return tuple(after for before, after in self.precedence if before == name)
+
+    def conflicts_with(self, name: str) -> Tuple[str, ...]:
+        """Cores that must not be tested concurrently with ``name``."""
+        result = []
+        for pair in self.concurrency:
+            if name in pair:
+                (other,) = pair - {name}
+                result.append(other)
+        return tuple(result)
+
+    def allows_concurrent(self, a: str, b: str) -> bool:
+        """True if tests ``a`` and ``b`` may overlap in time."""
+        return frozenset((a, b)) not in set(self.concurrency)
+
+    def preemption_limit(self, name: str) -> int:
+        """Maximum number of preemptions allowed for the named core."""
+        return int(self.max_preemptions.get(name, self.default_preemptions))
+
+    @property
+    def is_preemptive(self) -> bool:
+        """True if at least one core is allowed to be preempted."""
+        if self.default_preemptions > 0:
+            return True
+        return any(limit > 0 for limit in self.max_preemptions.values())
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def unconstrained(cls) -> "ConstraintSet":
+        """An empty constraint set (Problem 1 of the paper)."""
+        return cls()
+
+    @classmethod
+    def for_soc(
+        cls,
+        soc: Soc,
+        precedence: Iterable[Sequence[str]] = (),
+        concurrency: Iterable[Sequence[str]] = (),
+        power_max: Optional[float] = None,
+        max_preemptions: Optional[Mapping[str, int]] = None,
+        default_preemptions: int = 0,
+        include_hierarchy: bool = True,
+        include_bist: bool = True,
+    ) -> "ConstraintSet":
+        """Build a constraint set, deriving structural conflicts from the SOC.
+
+        Hierarchy conflicts (parent vs. child cores) and BIST-resource
+        conflicts (cores sharing an engine) are added as concurrency
+        constraints unless disabled.
+        """
+        pairs: Set[FrozenSet[str]] = {frozenset(map(str, pair)) for pair in concurrency}
+        if include_hierarchy:
+            for core in soc.cores:
+                if core.parent is not None:
+                    pairs.add(frozenset((core.name, core.parent)))
+        if include_bist:
+            for _, members in soc.bist_groups().items():
+                for i, a in enumerate(members):
+                    for b in members[i + 1 :]:
+                        pairs.add(frozenset((a, b)))
+        constraints = cls(
+            precedence=tuple(tuple(pair) for pair in precedence),
+            concurrency=tuple(sorted(pairs, key=sorted)),
+            power_max=power_max,
+            max_preemptions=dict(max_preemptions or {}),
+            default_preemptions=default_preemptions,
+        )
+        constraints.validate_for(soc)
+        return constraints
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def with_power_max(self, power_max: Optional[float]) -> "ConstraintSet":
+        """Return a copy with a different power budget."""
+        return replace(self, power_max=power_max)
+
+    def with_preemptions(
+        self,
+        max_preemptions: Optional[Mapping[str, int]] = None,
+        default_preemptions: Optional[int] = None,
+    ) -> "ConstraintSet":
+        """Return a copy with different preemption limits."""
+        return replace(
+            self,
+            max_preemptions=dict(
+                max_preemptions if max_preemptions is not None else self.max_preemptions
+            ),
+            default_preemptions=(
+                self.default_preemptions
+                if default_preemptions is None
+                else default_preemptions
+            ),
+        )
+
+    def merged_with(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Combine two constraint sets (union of constraints, tighter power)."""
+        power_values = [p for p in (self.power_max, other.power_max) if p is not None]
+        preemptions = dict(self.max_preemptions)
+        preemptions.update(other.max_preemptions)
+        return ConstraintSet(
+            precedence=tuple(set(self.precedence) | set(other.precedence)),
+            concurrency=tuple(set(self.concurrency) | set(other.concurrency)),
+            power_max=min(power_values) if power_values else None,
+            max_preemptions=preemptions,
+            default_preemptions=max(self.default_preemptions, other.default_preemptions),
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the constraint set."""
+        parts = [
+            f"{len(self.precedence)} precedence",
+            f"{len(self.concurrency)} concurrency",
+            f"power_max={self.power_max}",
+            f"default_preemptions={self.default_preemptions}",
+        ]
+        if self.max_preemptions:
+            parts.append(f"{len(self.max_preemptions)} per-core preemption limits")
+        return ", ".join(parts)

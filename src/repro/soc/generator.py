@@ -1,0 +1,125 @@
+"""Seeded synthetic SOC generator for stress tests and ablations.
+
+The ITC'02 benchmarks cover four specific SOCs; for scaling studies,
+randomised property tests and ablation sweeps it is useful to generate
+families of SOCs with controlled statistics (core count, scan volume,
+pattern counts, hierarchy/BIST structure).  The generator is deterministic
+for a given seed, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Statistical profile of a generated SOC.
+
+    The defaults produce mid-sized cores broadly comparable to the ITC'02
+    benchmarks (hundreds to a few thousand scan cells per core).
+    """
+
+    min_cores: int = 6
+    max_cores: int = 20
+    min_patterns: int = 10
+    max_patterns: int = 400
+    min_scan_cells: int = 0
+    max_scan_cells: int = 6000
+    max_scan_chains: int = 32
+    min_io: int = 4
+    max_io: int = 150
+    bidir_fraction: float = 0.1
+    combinational_fraction: float = 0.1
+    hierarchy_fraction: float = 0.0
+    bist_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_cores <= self.max_cores:
+            raise ValueError("core count bounds must satisfy 1 <= min <= max")
+        if not 1 <= self.min_patterns <= self.max_patterns:
+            raise ValueError("pattern bounds must satisfy 1 <= min <= max")
+        if not 0 <= self.min_scan_cells <= self.max_scan_cells:
+            raise ValueError("scan-cell bounds must satisfy 0 <= min <= max")
+        if self.max_scan_chains < 1:
+            raise ValueError("max_scan_chains must be at least 1")
+        if not 1 <= self.min_io <= self.max_io:
+            raise ValueError("I/O bounds must satisfy 1 <= min <= max")
+        for name in ("bidir_fraction", "combinational_fraction", "hierarchy_fraction", "bist_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+
+
+def _random_scan_chains(rng: random.Random, cells: int, max_chains: int) -> List[int]:
+    if cells <= 0:
+        return []
+    chains = rng.randint(1, min(max_chains, cells))
+    # Split `cells` into `chains` positive parts with mild imbalance.
+    cuts = sorted(rng.sample(range(1, cells), chains - 1)) if chains > 1 else []
+    bounds = [0] + cuts + [cells]
+    return [bounds[i + 1] - bounds[i] for i in range(chains)]
+
+
+def generate_soc(
+    seed: int,
+    name: Optional[str] = None,
+    profile: Optional[GeneratorProfile] = None,
+) -> Soc:
+    """Generate a deterministic synthetic SOC for the given seed."""
+    profile = profile or GeneratorProfile()
+    rng = random.Random(seed)
+    core_count = rng.randint(profile.min_cores, profile.max_cores)
+    cores: List[Core] = []
+    bist_engines = max(1, core_count // 4)
+    for index in range(1, core_count + 1):
+        combinational = rng.random() < profile.combinational_fraction
+        scan_cells = (
+            0
+            if combinational
+            else rng.randint(max(profile.min_scan_cells, 1), profile.max_scan_cells)
+        )
+        inputs = rng.randint(profile.min_io, profile.max_io)
+        outputs = rng.randint(profile.min_io, profile.max_io)
+        bidirs = (
+            rng.randint(0, max(1, profile.max_io // 10))
+            if rng.random() < profile.bidir_fraction
+            else 0
+        )
+        parent = None
+        if index > 1 and rng.random() < profile.hierarchy_fraction:
+            parent = f"core{rng.randint(1, index - 1)}"
+        bist = None
+        if rng.random() < profile.bist_fraction:
+            bist = f"bist{rng.randint(0, bist_engines - 1)}"
+        cores.append(
+            Core(
+                name=f"core{index}",
+                inputs=inputs,
+                outputs=outputs,
+                bidirs=bidirs,
+                patterns=rng.randint(profile.min_patterns, profile.max_patterns),
+                scan_chains=tuple(
+                    _random_scan_chains(rng, scan_cells, profile.max_scan_chains)
+                ),
+                parent=parent,
+                bist_resource=bist,
+            )
+        )
+    return Soc(name=name or f"synthetic-{seed}", cores=tuple(cores))
+
+
+def generate_soc_family(
+    seeds: range,
+    profile: Optional[GeneratorProfile] = None,
+    name_prefix: str = "synthetic",
+) -> List[Soc]:
+    """Generate one SOC per seed, sharing a statistical profile."""
+    return [
+        generate_soc(seed, name=f"{name_prefix}-{seed}", profile=profile) for seed in seeds
+    ]

@@ -1,0 +1,179 @@
+"""The :class:`Soc` data model: a named collection of cores.
+
+The SOC is the unit the paper's framework operates on.  The class performs
+structural validation (unique core names, hierarchy references that resolve)
+and offers a handful of aggregate quantities used by the lower-bound and
+data-volume computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.soc.core import Core
+
+
+class SocValidationError(ValueError):
+    """Raised when an SOC description is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Soc:
+    """A system-on-chip: a named, ordered collection of embedded cores.
+
+    Parameters
+    ----------
+    name:
+        SOC name (e.g. ``"d695"``).
+    cores:
+        The embedded cores, in their benchmark order.
+    """
+
+    name: str
+    cores: Tuple[Core, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cores", tuple(self.cores))
+        if not self.name:
+            raise SocValidationError("SOC name must be a non-empty string")
+        if not self.cores:
+            raise SocValidationError(f"SOC {self.name!r} has no cores")
+        self._validate()
+
+    def _validate(self) -> None:
+        seen = set()
+        names = {core.name for core in self.cores}
+        for core in self.cores:
+            if core.name in seen:
+                raise SocValidationError(
+                    f"SOC {self.name!r} has duplicate core name {core.name!r}"
+                )
+            seen.add(core.name)
+            if core.parent is not None:
+                if core.parent not in names:
+                    raise SocValidationError(
+                        f"core {core.name!r} references unknown parent {core.parent!r}"
+                    )
+                if core.parent == core.name:
+                    raise SocValidationError(
+                        f"core {core.name!r} cannot be its own parent"
+                    )
+        self._check_hierarchy_acyclic()
+
+    def _check_hierarchy_acyclic(self) -> None:
+        parent_of = {core.name: core.parent for core in self.cores}
+        for start in parent_of:
+            seen = {start}
+            node = parent_of[start]
+            while node is not None:
+                if node in seen:
+                    raise SocValidationError(
+                        f"core hierarchy of SOC {self.name!r} contains a cycle "
+                        f"through {node!r}"
+                    )
+                seen.add(node)
+                node = parent_of.get(node)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, Core):
+            return name in self.cores
+        return any(core.name == name for core in self.cores)
+
+    def __getitem__(self, key: object) -> Core:
+        if isinstance(key, int):
+            return self.cores[key]
+        if isinstance(key, str):
+            return self.core(key)
+        raise TypeError(f"SOC indices must be int or str, not {type(key).__name__}")
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def core(self, name: str) -> Core:
+        """Return the core with the given name, or raise ``KeyError``."""
+        for core in self.cores:
+            if core.name == name:
+                return core
+        raise KeyError(f"SOC {self.name!r} has no core named {name!r}")
+
+    @property
+    def core_names(self) -> Tuple[str, ...]:
+        """Names of all cores, in order."""
+        return tuple(core.name for core in self.cores)
+
+    def children_of(self, name: str) -> Tuple[Core, ...]:
+        """Cores whose hierarchical parent is the named core."""
+        return tuple(core for core in self.cores if core.parent == name)
+
+    def bist_groups(self) -> Dict[str, Tuple[str, ...]]:
+        """Map each BIST resource name to the cores that share it."""
+        groups: Dict[str, List[str]] = {}
+        for core in self.cores:
+            if core.bist_resource is not None:
+                groups.setdefault(core.bist_resource, []).append(core.name)
+        return {resource: tuple(names) for resource, names in groups.items()}
+
+    # ------------------------------------------------------------------
+    # Aggregate quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_test_bits(self) -> int:
+        """Total tester data volume over all cores, in bits."""
+        return sum(core.total_test_bits for core in self.cores)
+
+    @property
+    def total_patterns(self) -> int:
+        """Total number of test patterns over all cores."""
+        return sum(core.patterns for core in self.cores)
+
+    @property
+    def total_scan_cells(self) -> int:
+        """Total number of internal scan cells over all cores."""
+        return sum(core.scan_cells for core in self.cores)
+
+    def max_test_power(self) -> float:
+        """The largest per-core test power value."""
+        return max(core.test_power for core in self.cores)
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def with_cores(self, cores: Iterable[Core]) -> "Soc":
+        """Return a copy of this SOC with a replacement core list."""
+        return Soc(name=self.name, cores=tuple(cores))
+
+    def subset(self, names: Sequence[str]) -> "Soc":
+        """Return a new SOC containing only the named cores (in given order)."""
+        return Soc(name=f"{self.name}-subset", cores=tuple(self.core(n) for n in names))
+
+    def renamed(self, name: str) -> "Soc":
+        """Return a copy of this SOC with a different name."""
+        return Soc(name=name, cores=self.cores)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the SOC."""
+        lines = [
+            f"SOC {self.name}: {len(self.cores)} cores, "
+            f"{self.total_scan_cells} scan cells, "
+            f"{self.total_patterns} patterns, "
+            f"{self.total_test_bits} test bits",
+        ]
+        for core in self.cores:
+            lines.append("  " + core.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Soc(name={self.name!r}, cores=<{len(self.cores)} cores>)"

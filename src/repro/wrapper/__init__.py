@@ -1,0 +1,57 @@
+"""Test wrapper design (the ``Design_wrapper`` algorithm) and Pareto analysis.
+
+This subpackage implements the per-core half of wrapper/TAM co-optimization:
+
+* :mod:`~repro.wrapper.partition` -- Best-Fit-Decreasing partitioning of
+  internal scan chains and wrapper I/O cells over a given number of wrapper
+  scan chains.
+* :mod:`~repro.wrapper.design_wrapper` -- the ``Design_wrapper`` algorithm
+  from the authors' earlier work [12], producing a
+  :class:`~repro.wrapper.design_wrapper.WrapperDesign` and the resulting
+  core testing time ``T(w) = (1 + max(si, so)) * p + min(si, so)``.
+* :mod:`~repro.wrapper.pareto` -- testing-time staircases, Pareto-optimal
+  TAM widths, and the paper's *preferred TAM width* heuristic.
+"""
+
+from repro.wrapper.partition import WrapperChain, partition_scan_chains
+from repro.wrapper.design_wrapper import (
+    WrapperDesign,
+    design_wrapper,
+    scan_lengths,
+    testing_time,
+)
+from repro.wrapper.pareto import (
+    ParetoPoint,
+    highest_pareto_width,
+    pareto_points,
+    preferred_width,
+    testing_time_curve,
+)
+from repro.wrapper.report import (
+    CoreWrapperPlan,
+    WrapperChainPlan,
+    core_wrapper_plan,
+    format_soc_wrapper_plans,
+    format_wrapper_plan,
+    wrapper_plans_for_schedule,
+)
+
+__all__ = [
+    "WrapperChain",
+    "partition_scan_chains",
+    "WrapperDesign",
+    "design_wrapper",
+    "scan_lengths",
+    "testing_time",
+    "ParetoPoint",
+    "pareto_points",
+    "testing_time_curve",
+    "highest_pareto_width",
+    "preferred_width",
+    "CoreWrapperPlan",
+    "WrapperChainPlan",
+    "core_wrapper_plan",
+    "wrapper_plans_for_schedule",
+    "format_wrapper_plan",
+    "format_soc_wrapper_plans",
+]

@@ -1,0 +1,126 @@
+"""Pareto-optimal TAM widths and preferred widths (paper Sections 3 and 4).
+
+For a given core the testing time ``T(w)`` decreases only at *Pareto-optimal*
+TAM widths; between them it is flat (Figure 1 of the paper).  A Pareto-optimal
+width is the smallest width achieving a particular testing time, so the TAM
+width assigned to a core is always the minimal value required to achieve a
+specific testing time -- extra wires would be wasted.
+
+The scheduler additionally uses a *preferred TAM width*: the smallest width
+whose testing time is within ``percent`` % of the time at the maximum
+allowable width ``max_width`` (64 in the paper), optionally bumped up to the
+highest Pareto width if the difference is at most ``delta`` wires (the
+"bottleneck core" heuristic of subroutine ``Initialize``, Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.soc.core import Core
+from repro.wrapper.design_wrapper import testing_time
+
+DEFAULT_MAX_WIDTH = 64
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A Pareto-optimal (TAM width, testing time) pair for one core."""
+
+    width: int
+    time: int
+
+    @property
+    def area(self) -> int:
+        """TAM-wire-cycles occupied by the core test at this point."""
+        return self.width * self.time
+
+
+@lru_cache(maxsize=16384)
+def _time_curve_cached(core: Core, max_width: int) -> Tuple[int, ...]:
+    return tuple(testing_time(core, width) for width in range(1, max_width + 1))
+
+
+def testing_time_curve(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[int]:
+    """``[T(1), T(2), ..., T(max_width)]`` for the core (the Figure 1 staircase)."""
+    if max_width <= 0:
+        raise ValueError("max_width must be positive")
+    return list(_time_curve_cached(core, max_width))
+
+
+def pareto_points(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[ParetoPoint]:
+    """Pareto-optimal (width, time) points, in increasing width order.
+
+    Width 1 is always included; a width ``w > 1`` is included only when
+    ``T(w) < T(w - 1)``.
+    """
+    curve = testing_time_curve(core, max_width)
+    points = [ParetoPoint(width=1, time=curve[0])]
+    for width in range(2, max_width + 1):
+        time = curve[width - 1]
+        if time < points[-1].time:
+            points.append(ParetoPoint(width=width, time=time))
+    return points
+
+
+def highest_pareto_width(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
+    """The largest Pareto-optimal width (beyond it, extra wires buy nothing)."""
+    return pareto_points(core, max_width)[-1].width
+
+
+def minimum_testing_time(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
+    """The core's testing time at its highest Pareto-optimal width."""
+    return pareto_points(core, max_width)[-1].time
+
+
+def largest_pareto_width_not_exceeding(
+    core: Core, width: int, max_width: int = DEFAULT_MAX_WIDTH
+) -> int:
+    """The largest Pareto-optimal width that is <= ``width`` (at least 1)."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    best = 1
+    for point in pareto_points(core, max_width):
+        if point.width <= width:
+            best = point.width
+        else:
+            break
+    return best
+
+
+def minimum_area(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
+    """``min_w  w * T(w)`` -- the smallest TAM-wire-cycle footprint of the test.
+
+    Used by the lower bound of Table 1.
+    """
+    return min(point.area for point in pareto_points(core, max_width))
+
+
+def preferred_width(
+    core: Core,
+    max_width: int = DEFAULT_MAX_WIDTH,
+    percent: float = 5.0,
+    delta: int = 0,
+) -> int:
+    """The paper's *preferred TAM width* for a core.
+
+    The smallest width whose testing time is within ``percent`` % of the
+    testing time at ``max_width``; if the highest Pareto-optimal width is at
+    most ``delta`` wires larger, use that instead (helps bottleneck cores,
+    Figure 5 lines 5-6).
+    """
+    if percent < 0:
+        raise ValueError("percent must be non-negative")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    curve = testing_time_curve(core, max_width)
+    target = (1.0 + percent / 100.0) * curve[max_width - 1]
+    width = next(
+        (w for w in range(1, max_width + 1) if curve[w - 1] <= target), max_width
+    )
+    pareto_max = highest_pareto_width(core, max_width)
+    if 0 < pareto_max - width <= delta:
+        width = pareto_max
+    return width

@@ -1,0 +1,140 @@
+"""Best-Fit-Decreasing partitioning of scan elements over wrapper chains.
+
+A core's wrapper contains ``w`` wrapper scan chains (one per TAM wire).  Each
+wrapper chain is a concatenation of wrapper input cells, zero or more internal
+scan chains, and wrapper output cells.  The *scan-in length* of a wrapper
+chain is the number of cells that must be shifted to load it (input cells +
+internal scan cells); the *scan-out length* is the number shifted to unload
+it (internal scan cells + output cells).  Bidirectional cells appear on both
+paths.
+
+``Design_wrapper`` [12] minimises the longest wrapper scan-in/scan-out chain
+using a Best-Fit-Decreasing (BFD) heuristic:
+
+1. sort internal scan chains by decreasing length and assign each to the
+   wrapper chain that is currently shortest (classic multiprocessor-
+   scheduling LPT, which is what BFD reduces to when every bin has unbounded
+   capacity);
+2. distribute wrapper input cells over the wrapper chains with the shortest
+   scan-in length;
+3. distribute wrapper output cells over the wrapper chains with the shortest
+   scan-out length;
+4. bidirectional cells are distributed last and count on both paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class WrapperChain:
+    """One wrapper scan chain: internal chains plus wrapper I/O cells."""
+
+    internal_chains: List[int] = field(default_factory=list)
+    input_cells: int = 0
+    output_cells: int = 0
+    bidir_cells: int = 0
+
+    @property
+    def internal_length(self) -> int:
+        """Total internal scan cells on this wrapper chain."""
+        return sum(self.internal_chains)
+
+    @property
+    def scan_in_length(self) -> int:
+        """Cells shifted in when loading this wrapper chain."""
+        return self.internal_length + self.input_cells + self.bidir_cells
+
+    @property
+    def scan_out_length(self) -> int:
+        """Cells shifted out when unloading this wrapper chain."""
+        return self.internal_length + self.output_cells + self.bidir_cells
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no cell of any kind is placed on this wrapper chain."""
+        return (
+            not self.internal_chains
+            and self.input_cells == 0
+            and self.output_cells == 0
+            and self.bidir_cells == 0
+        )
+
+
+def partition_scan_chains(lengths: Sequence[int], num_chains: int) -> List[WrapperChain]:
+    """Partition internal scan chains over ``num_chains`` wrapper chains (BFD).
+
+    Returns the wrapper chains with only their internal chains populated.
+    """
+    if num_chains <= 0:
+        raise ValueError("number of wrapper chains must be positive")
+    if any(length <= 0 for length in lengths):
+        raise ValueError("scan chain lengths must be positive")
+    chains = [WrapperChain() for _ in range(num_chains)]
+    # Min-heap keyed on (current internal length, index) so that ties are
+    # broken deterministically.
+    heap: List[Tuple[int, int]] = [(0, index) for index in range(num_chains)]
+    heapq.heapify(heap)
+    for length in sorted(lengths, reverse=True):
+        current, index = heapq.heappop(heap)
+        chains[index].internal_chains.append(length)
+        heapq.heappush(heap, (current + length, index))
+    return chains
+
+
+def distribute_input_cells(chains: List[WrapperChain], count: int) -> None:
+    """Place ``count`` wrapper input cells on the chains with shortest scan-in."""
+    _distribute(chains, count, kind="input")
+
+
+def distribute_output_cells(chains: List[WrapperChain], count: int) -> None:
+    """Place ``count`` wrapper output cells on the chains with shortest scan-out."""
+    _distribute(chains, count, kind="output")
+
+
+def distribute_bidir_cells(chains: List[WrapperChain], count: int) -> None:
+    """Place ``count`` bidirectional wrapper cells, balancing both paths."""
+    _distribute(chains, count, kind="bidir")
+
+
+def _chain_key(chain: WrapperChain, kind: str) -> Tuple[int, int]:
+    if kind == "input":
+        return (chain.scan_in_length, chain.scan_out_length)
+    if kind == "output":
+        return (chain.scan_out_length, chain.scan_in_length)
+    # bidir cells lengthen both paths, so balance on the max of the two
+    return (
+        max(chain.scan_in_length, chain.scan_out_length),
+        chain.scan_in_length + chain.scan_out_length,
+    )
+
+
+def _add_cell(chain: WrapperChain, kind: str) -> None:
+    if kind == "input":
+        chain.input_cells += 1
+    elif kind == "output":
+        chain.output_cells += 1
+    else:
+        chain.bidir_cells += 1
+
+
+def _distribute(chains: List[WrapperChain], count: int, kind: str) -> None:
+    if count < 0:
+        raise ValueError("cell count must be non-negative")
+    if count == 0:
+        return
+    # One cell at a time onto the currently-best chain.  A heap keyed on the
+    # chain's (primary, secondary, index) keeps this O(count log w); the key
+    # only changes through our own insertions, so re-pushing the updated key
+    # is sufficient.
+    heap = [(_chain_key(chain, kind) + (index,)) for index, chain in enumerate(chains)]
+    heapq.heapify(heap)
+    for _ in range(count):
+        entry = heapq.heappop(heap)
+        index = entry[-1]
+        chain = chains[index]
+        _add_cell(chain, kind)
+        heapq.heappush(heap, _chain_key(chain, kind) + (index,))

@@ -1,0 +1,123 @@
+"""Wrapper implementation plans: turning a schedule into DFT-insertion data.
+
+The scheduler decides *how many* TAM wires each core gets; a DFT engineer
+then needs the corresponding wrapper design -- which internal scan chains and
+which wrapper I/O cells are concatenated onto each wrapper chain.  This
+module produces that plan for a whole SOC from a finished schedule (or for a
+single core at a chosen width), in a plain data structure plus a
+human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.schedule.schedule import TestSchedule
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+from repro.wrapper.design_wrapper import WrapperDesign, design_wrapper
+
+
+@dataclass(frozen=True)
+class WrapperChainPlan:
+    """One wrapper scan chain of one core: its contents and its lengths."""
+
+    index: int
+    internal_chains: Tuple[int, ...]
+    input_cells: int
+    output_cells: int
+    bidir_cells: int
+    scan_in_length: int
+    scan_out_length: int
+
+
+@dataclass(frozen=True)
+class CoreWrapperPlan:
+    """The complete wrapper plan for one core at its assigned TAM width."""
+
+    core: str
+    tam_width: int
+    testing_time: int
+    scan_in_length: int
+    scan_out_length: int
+    chains: Tuple[WrapperChainPlan, ...]
+
+    @property
+    def used_chains(self) -> int:
+        """Wrapper chains that actually carry cells."""
+        return sum(
+            1
+            for chain in self.chains
+            if chain.internal_chains or chain.input_cells or chain.output_cells or chain.bidir_cells
+        )
+
+
+def core_wrapper_plan(core: Core, width: int) -> CoreWrapperPlan:
+    """Design the wrapper for ``core`` at ``width`` and return its plan."""
+    design: WrapperDesign = design_wrapper(core, width)
+    chains = tuple(
+        WrapperChainPlan(
+            index=index,
+            internal_chains=tuple(chain.internal_chains),
+            input_cells=chain.input_cells,
+            output_cells=chain.output_cells,
+            bidir_cells=chain.bidir_cells,
+            scan_in_length=chain.scan_in_length,
+            scan_out_length=chain.scan_out_length,
+        )
+        for index, chain in enumerate(design.chains)
+    )
+    return CoreWrapperPlan(
+        core=core.name,
+        tam_width=width,
+        testing_time=design.testing_time,
+        scan_in_length=design.scan_in_length,
+        scan_out_length=design.scan_out_length,
+        chains=chains,
+    )
+
+
+def wrapper_plans_for_schedule(soc: Soc, schedule: TestSchedule) -> Dict[str, CoreWrapperPlan]:
+    """Wrapper plans for every core, at the width the schedule assigned it."""
+    plans: Dict[str, CoreWrapperPlan] = {}
+    for name in schedule.scheduled_cores:
+        summary = schedule.core_summary(name)
+        plans[name] = core_wrapper_plan(soc.core(name), summary.widths[0])
+    return plans
+
+
+def format_wrapper_plan(plan: CoreWrapperPlan) -> str:
+    """Human-readable report of one core's wrapper plan."""
+    lines = [
+        f"Wrapper plan for {plan.core}: {plan.tam_width} TAM wires "
+        f"({plan.used_chains} used), si={plan.scan_in_length}, "
+        f"so={plan.scan_out_length}, T={plan.testing_time} cycles",
+    ]
+    for chain in plan.chains:
+        if not (chain.internal_chains or chain.input_cells or chain.output_cells or chain.bidir_cells):
+            lines.append(f"  chain {chain.index}: (unused)")
+            continue
+        internal = (
+            "+".join(str(length) for length in chain.internal_chains) or "-"
+        )
+        lines.append(
+            f"  chain {chain.index}: scan cells [{internal}], "
+            f"{chain.input_cells} in / {chain.output_cells} out / {chain.bidir_cells} bidir cells, "
+            f"si={chain.scan_in_length}, so={chain.scan_out_length}"
+        )
+    return "\n".join(lines)
+
+
+def format_soc_wrapper_plans(soc: Soc, schedule: TestSchedule) -> str:
+    """Human-readable wrapper report for the whole SOC."""
+    plans = wrapper_plans_for_schedule(soc, schedule)
+    sections: List[str] = [
+        f"Wrapper implementation plan for {soc.name} "
+        f"(total TAM width {schedule.total_width}, testing time {schedule.makespan} cycles)",
+        "",
+    ]
+    for name in schedule.scheduled_cores:
+        sections.append(format_wrapper_plan(plans[name]))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

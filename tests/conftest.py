@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.benchmarks import d695, p22810, p34392, p93791
+from repro.soc.constraints import ConstraintSet
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="session")
+def d695_soc() -> Soc:
+    """The academic d695 benchmark (session-scoped: it is immutable)."""
+    return d695()
+
+
+@pytest.fixture(scope="session")
+def p22810_soc() -> Soc:
+    return p22810()
+
+
+@pytest.fixture(scope="session")
+def p34392_soc() -> Soc:
+    return p34392()
+
+
+@pytest.fixture(scope="session")
+def p93791_soc() -> Soc:
+    return p93791()
+
+
+@pytest.fixture
+def small_cores() -> tuple:
+    """Four small, hand-checkable cores."""
+    return (
+        Core("alpha", inputs=4, outputs=4, patterns=10, scan_chains=(8, 8)),
+        Core("beta", inputs=2, outputs=3, patterns=20, scan_chains=(6,)),
+        Core("gamma", inputs=5, outputs=5, patterns=5, scan_chains=(10, 10, 10)),
+        Core.combinational("delta", inputs=6, outputs=2, patterns=30),
+    )
+
+
+@pytest.fixture
+def small_soc(small_cores) -> Soc:
+    """A four-core SOC small enough for exhaustive reference scheduling."""
+    return Soc(name="small4", cores=small_cores)
+
+
+@pytest.fixture
+def small_constraints(small_soc) -> ConstraintSet:
+    """A representative constraint set for the small SOC."""
+    return ConstraintSet.for_soc(
+        small_soc,
+        precedence=[("alpha", "delta")],
+        concurrency=[("beta", "gamma")],
+        power_max=60.0,
+        max_preemptions={"gamma": 2},
+    )
+
+
+@pytest.fixture
+def hierarchical_soc() -> Soc:
+    """An SOC with a parent/child pair and a shared BIST engine."""
+    cores = (
+        Core("parent", inputs=10, outputs=10, patterns=12, scan_chains=(16, 16)),
+        Core("child", inputs=4, outputs=4, patterns=8, scan_chains=(8,), parent="parent"),
+        Core("bist_a", inputs=3, outputs=3, patterns=6, scan_chains=(6,), bist_resource="engine0"),
+        Core("bist_b", inputs=3, outputs=3, patterns=6, scan_chains=(6,), bist_resource="engine0"),
+        Core("plain", inputs=5, outputs=5, patterns=10, scan_chains=(12,)),
+    )
+    return Soc(name="hier", cores=cores)

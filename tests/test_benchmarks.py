@@ -1,0 +1,103 @@
+"""Tests of the benchmark SOCs and their calibration against the paper.
+
+The lower-bound checks encode the calibration targets from DESIGN.md
+section 5: d695 reproduces the paper's Table 1 lower bounds almost exactly,
+and the synthetic Philips stand-ins reproduce them to within a few percent.
+"""
+
+import pytest
+
+from repro.core.lower_bounds import lower_bound
+from repro.soc.benchmarks import d695, get_benchmark, list_benchmarks, p22810, p34392, p93791
+from repro.wrapper.pareto import minimum_testing_time, pareto_points
+
+
+class TestRegistry:
+    def test_list_benchmarks(self):
+        assert set(list_benchmarks()) == {"d695", "p22810", "p34392", "p93791"}
+
+    @pytest.mark.parametrize("name", ["d695", "p22810", "p34392", "p93791"])
+    def test_get_benchmark_by_name(self, name):
+        soc = get_benchmark(name)
+        assert soc.name == name
+
+    def test_get_benchmark_case_insensitive(self):
+        assert get_benchmark("D695").name == "d695"
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("p12345")
+
+    def test_builders_return_fresh_equal_objects(self):
+        assert d695() == d695()
+        assert d695() is not d695()
+
+
+class TestD695:
+    def test_core_count_and_names(self, d695_soc):
+        assert len(d695_soc) == 10
+        assert "s38417" in d695_soc
+        assert "c6288" in d695_soc
+
+    def test_combinational_cores(self, d695_soc):
+        assert d695_soc.core("c6288").is_combinational
+        assert d695_soc.core("c7552").is_combinational
+        assert not d695_soc.core("s38417").is_combinational
+
+    def test_scan_volume(self, d695_soc):
+        # Published d695 structural data: ~1.2e6 stimulus+response bits, i.e.
+        # ~6.6e5 TAM wire-cycles of scan-in dominated transfer.
+        assert 1.1e6 < d695_soc.total_test_bits < 1.4e6
+
+    @pytest.mark.parametrize(
+        "width,paper_lb",
+        [(16, 41232), (32, 20616), (48, 13744), (64, 10308)],
+    )
+    def test_lower_bounds_match_paper(self, d695_soc, width, paper_lb):
+        ours = lower_bound(d695_soc, width)
+        assert abs(ours - paper_lb) / paper_lb < 0.01
+
+
+class TestPhilipsStandIns:
+    @pytest.mark.parametrize(
+        "builder,cores", [(p22810, 24), (p34392, 19), (p93791, 32)]
+    )
+    def test_core_counts(self, builder, cores):
+        assert len(builder()) == cores
+
+    @pytest.mark.parametrize(
+        "builder,width,paper_lb,tolerance",
+        [
+            (p22810, 16, 421473, 0.03),
+            (p22810, 64, 105369, 0.03),
+            (p34392, 16, 936882, 0.03),
+            (p34392, 32, 544579, 0.03),
+            (p93791, 16, 1749388, 0.03),
+            (p93791, 64, 437347, 0.03),
+        ],
+    )
+    def test_lower_bounds_close_to_paper(self, builder, width, paper_lb, tolerance):
+        soc = builder()
+        ours = lower_bound(soc, width)
+        assert abs(ours - paper_lb) / paper_lb < tolerance
+
+    def test_p34392_core18_is_the_bottleneck(self, p34392_soc):
+        """Core 18 saturates around 5.45e5 cycles and dominates the wide-TAM LB."""
+        core18 = p34392_soc.core("Core 18")
+        t_min = minimum_testing_time(core18, 64)
+        assert abs(t_min - 544579) / 544579 < 0.01
+        others = [minimum_testing_time(c, 64) for c in p34392_soc.cores if c.name != "Core 18"]
+        assert max(others) < t_min
+        assert lower_bound(p34392_soc, 32) == t_min
+
+    def test_p93791_core6_staircase_saturates_near_47(self, p93791_soc):
+        """Figure 1: the Core 6 staircase flattens at a Pareto width near 47."""
+        core6 = p93791_soc.core("Core 6")
+        points = pareto_points(core6, 64)
+        assert 44 <= points[-1].width <= 50
+        # Saturated testing time within ~2 % of the paper's 114317 cycles.
+        assert abs(points[-1].time - 114317) / 114317 < 0.02
+
+    def test_all_core_names_unique_pattern(self, p93791_soc):
+        assert p93791_soc.core_names[0] == "Core 1"
+        assert p93791_soc.core_names[-1] == "Core 32"

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.soc.benchmarks import d695
+from repro.soc.itc02 import save_soc
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_schedule_arguments(self):
+        args = build_parser().parse_args(["schedule", "d695", "32", "--percent", "7"])
+        assert args.soc == "d695"
+        assert args.width == 32
+        assert args.percent == 7.0
+
+
+class TestCommands:
+    def test_benchmarks_lists_all(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("d695", "p22810", "p34392", "p93791"):
+            assert name in out
+
+    def test_pareto_command(self, capsys):
+        assert main(["pareto", "d695", "s38417", "--max-width", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "TAM width" in out
+        assert "testing time" in out
+
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "d695", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "testing time" in out
+        assert "lower bound" in out
+        assert "s38417" in out
+
+    def test_schedule_command_from_file(self, tmp_path, capsys):
+        path = tmp_path / "soc.soc"
+        save_soc(d695(), path)
+        assert main(["schedule", str(path), "16"]) == 0
+        assert "d695" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert (
+            main(["sweep", "d695", "--min-width", "8", "--max-width", "20", "--step", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "testing time" in out
+        assert "data volume" in out
+
+    def test_table2_command(self, capsys):
+        assert (
+            main(
+                [
+                    "table2",
+                    "d695",
+                    "--alphas",
+                    "0.5",
+                    "--min-width",
+                    "8",
+                    "--max-width",
+                    "24",
+                    "--step",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "W_e" in out
+        assert "0.500" in out

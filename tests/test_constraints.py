@@ -1,0 +1,175 @@
+"""Unit tests for the constraint model (repro.soc.constraints)."""
+
+import pytest
+
+from repro.soc.constraints import ConstraintError, ConstraintSet
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+def _soc(*names, **core_kwargs):
+    cores = tuple(
+        Core(n, inputs=2, outputs=2, patterns=3, scan_chains=(4,), **core_kwargs)
+        for n in names
+    )
+    return Soc("soc", cores)
+
+
+class TestConstruction:
+    def test_unconstrained_is_empty(self):
+        cs = ConstraintSet.unconstrained()
+        assert cs.precedence == ()
+        assert cs.concurrency == ()
+        assert cs.power_max is None
+        assert not cs.is_preemptive
+
+    def test_precedence_normalised(self):
+        cs = ConstraintSet(precedence=[("a", "b"), ["c", "d"]])
+        assert cs.precedence == (("a", "b"), ("c", "d"))
+
+    def test_concurrency_normalised_to_frozensets(self):
+        cs = ConstraintSet(concurrency=[("a", "b")])
+        assert cs.concurrency == (frozenset({"a", "b"}),)
+
+    def test_self_precedence_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(precedence=[("a", "a")])
+
+    def test_self_concurrency_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(concurrency=[("a", "a")])
+
+    def test_precedence_cycle_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(precedence=[("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_long_chain_is_not_a_cycle(self):
+        cs = ConstraintSet(precedence=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert cs.predecessors_of("d") == ("c",)
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(power_max=0)
+
+    def test_negative_preemption_limits_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet(max_preemptions={"a": -1})
+        with pytest.raises(ConstraintError):
+            ConstraintSet(default_preemptions=-1)
+
+
+class TestQueries:
+    def test_predecessors_and_successors(self):
+        cs = ConstraintSet(precedence=[("a", "b"), ("a", "c"), ("b", "c")])
+        assert set(cs.predecessors_of("c")) == {"a", "b"}
+        assert set(cs.successors_of("a")) == {"b", "c"}
+        assert cs.predecessors_of("a") == ()
+
+    def test_conflicts_with(self):
+        cs = ConstraintSet(concurrency=[("a", "b"), ("a", "c")])
+        assert set(cs.conflicts_with("a")) == {"b", "c"}
+        assert cs.conflicts_with("b") == ("a",)
+        assert cs.conflicts_with("z") == ()
+
+    def test_allows_concurrent(self):
+        cs = ConstraintSet(concurrency=[("a", "b")])
+        assert not cs.allows_concurrent("a", "b")
+        assert not cs.allows_concurrent("b", "a")
+        assert cs.allows_concurrent("a", "c")
+
+    def test_preemption_limit_defaults(self):
+        cs = ConstraintSet(max_preemptions={"a": 3}, default_preemptions=1)
+        assert cs.preemption_limit("a") == 3
+        assert cs.preemption_limit("b") == 1
+        assert cs.is_preemptive
+
+    def test_is_preemptive_false_when_all_zero(self):
+        cs = ConstraintSet(max_preemptions={"a": 0})
+        assert not cs.is_preemptive
+
+
+class TestValidation:
+    def test_validate_for_accepts_known_cores(self):
+        soc = _soc("a", "b")
+        cs = ConstraintSet(precedence=[("a", "b")])
+        cs.validate_for(soc)  # should not raise
+
+    def test_validate_for_rejects_unknown_cores(self):
+        soc = _soc("a", "b")
+        cs = ConstraintSet(precedence=[("a", "ghost")])
+        with pytest.raises(ConstraintError):
+            cs.validate_for(soc)
+
+    def test_validate_for_rejects_unknown_preemption_entries(self):
+        soc = _soc("a")
+        cs = ConstraintSet(max_preemptions={"ghost": 1})
+        with pytest.raises(ConstraintError):
+            cs.validate_for(soc)
+
+
+class TestForSoc:
+    def test_hierarchy_conflicts_added(self):
+        cores = (
+            Core("parent", inputs=1, outputs=1, patterns=1),
+            Core("child", inputs=1, outputs=1, patterns=1, parent="parent"),
+        )
+        soc = Soc("soc", cores)
+        cs = ConstraintSet.for_soc(soc)
+        assert not cs.allows_concurrent("parent", "child")
+
+    def test_bist_conflicts_added(self):
+        cores = (
+            Core("a", inputs=1, outputs=1, patterns=1, bist_resource="e"),
+            Core("b", inputs=1, outputs=1, patterns=1, bist_resource="e"),
+            Core("c", inputs=1, outputs=1, patterns=1),
+        )
+        soc = Soc("soc", cores)
+        cs = ConstraintSet.for_soc(soc)
+        assert not cs.allows_concurrent("a", "b")
+        assert cs.allows_concurrent("a", "c")
+
+    def test_structural_conflicts_can_be_disabled(self):
+        cores = (
+            Core("a", inputs=1, outputs=1, patterns=1, bist_resource="e"),
+            Core("b", inputs=1, outputs=1, patterns=1, bist_resource="e", parent="a"),
+        )
+        soc = Soc("soc", cores)
+        cs = ConstraintSet.for_soc(soc, include_hierarchy=False, include_bist=False)
+        assert cs.concurrency == ()
+
+    def test_for_soc_validates_user_constraints(self):
+        soc = _soc("a", "b")
+        with pytest.raises(ConstraintError):
+            ConstraintSet.for_soc(soc, precedence=[("a", "ghost")])
+
+
+class TestTransforms:
+    def test_with_power_max(self):
+        cs = ConstraintSet(power_max=10.0)
+        assert cs.with_power_max(20.0).power_max == 20.0
+        assert cs.with_power_max(None).power_max is None
+        assert cs.power_max == 10.0
+
+    def test_with_preemptions(self):
+        cs = ConstraintSet()
+        new = cs.with_preemptions({"a": 2}, default_preemptions=1)
+        assert new.preemption_limit("a") == 2
+        assert new.preemption_limit("other") == 1
+        assert cs.preemption_limit("a") == 0
+
+    def test_merged_with_unions_constraints(self):
+        first = ConstraintSet(precedence=[("a", "b")], power_max=50.0)
+        second = ConstraintSet(concurrency=[("b", "c")], power_max=30.0,
+                               max_preemptions={"a": 1})
+        merged = first.merged_with(second)
+        assert ("a", "b") in merged.precedence
+        assert frozenset({"b", "c"}) in merged.concurrency
+        assert merged.power_max == 30.0
+        assert merged.preemption_limit("a") == 1
+
+    def test_describe_mentions_counts(self):
+        cs = ConstraintSet(precedence=[("a", "b")], concurrency=[("c", "d")], power_max=9.0)
+        text = cs.describe()
+        assert "1 precedence" in text
+        assert "1 concurrency" in text
+        assert "9.0" in text

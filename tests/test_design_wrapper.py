@@ -1,0 +1,104 @@
+"""Unit tests for the Design_wrapper algorithm (repro.wrapper.design_wrapper)."""
+
+import pytest
+
+from repro.soc.core import Core
+from repro.wrapper.design_wrapper import (
+    design_wrapper,
+    preemption_overhead,
+    scan_lengths,
+    testing_time,
+)
+
+
+class TestDesignWrapper:
+    def test_rejects_non_positive_width(self):
+        core = Core("c", inputs=2, outputs=2, patterns=3, scan_chains=(4,))
+        with pytest.raises(ValueError):
+            design_wrapper(core, 0)
+
+    def test_width_one_concatenates_everything(self):
+        core = Core("c", inputs=3, outputs=5, patterns=2, scan_chains=(4, 6))
+        design = design_wrapper(core, 1)
+        assert design.scan_in_length == 4 + 6 + 3
+        assert design.scan_out_length == 4 + 6 + 5
+        assert design.used_width == 1
+
+    def test_all_cells_placed(self):
+        core = Core("c", inputs=7, outputs=9, bidirs=2, patterns=2, scan_chains=(4, 6, 3))
+        design = design_wrapper(core, 4)
+        assert sum(c.input_cells for c in design.chains) == 7
+        assert sum(c.output_cells for c in design.chains) == 9
+        assert sum(c.bidir_cells for c in design.chains) == 2
+        assert sum(c.internal_length for c in design.chains) == 13
+
+    def test_used_width_never_exceeds_requested(self):
+        core = Core("c", inputs=2, outputs=2, patterns=2, scan_chains=(4,))
+        design = design_wrapper(core, 16)
+        assert design.used_width <= 16
+
+    def test_combinational_core_width_spreads_io(self):
+        core = Core.combinational("c", inputs=8, outputs=4, patterns=5)
+        design = design_wrapper(core, 4)
+        assert design.scan_in_length == 2  # 8 inputs over 4 chains
+        assert design.scan_out_length == 1  # 4 outputs over 4 chains
+
+    def test_testing_time_matches_formula(self):
+        core = Core("c", inputs=3, outputs=5, patterns=7, scan_chains=(4, 6))
+        design = design_wrapper(core, 2)
+        si, so = design.scan_in_length, design.scan_out_length
+        assert design.testing_time == (1 + max(si, so)) * 7 + min(si, so)
+        assert design.testing_time == testing_time(core, 2)
+
+    def test_preemption_overhead_is_si_plus_so(self):
+        core = Core("c", inputs=3, outputs=5, patterns=7, scan_chains=(4, 6))
+        si, so = scan_lengths(core, 2)
+        assert preemption_overhead(core, 2) == si + so
+
+
+class TestScanLengths:
+    def test_scan_lengths_monotone_non_increasing_in_width(self):
+        core = Core("c", inputs=10, outputs=12, patterns=4, scan_chains=(9, 7, 5, 3, 3))
+        previous = None
+        for width in range(1, 12):
+            si, so = scan_lengths(core, width)
+            longest = max(si, so)
+            if previous is not None:
+                assert longest <= previous
+            previous = longest
+
+    def test_width_beyond_saturation_changes_nothing(self):
+        core = Core("c", inputs=2, outputs=2, patterns=3, scan_chains=(8, 8))
+        assert testing_time(core, 16) == testing_time(core, 64)
+
+    def test_single_long_chain_limits_improvement(self):
+        # One chain of 100 dominates regardless of how many wires are thrown at it.
+        core = Core("c", inputs=0, outputs=0, patterns=10, scan_chains=(100, 2, 2))
+        assert scan_lengths(core, 8)[0] == 100
+        assert testing_time(core, 8) == (1 + 100) * 10 + 100
+
+    def test_cache_returns_consistent_values(self):
+        core = Core("c", inputs=4, outputs=4, patterns=6, scan_chains=(5, 5))
+        assert scan_lengths(core, 3) == scan_lengths(core, 3)
+
+
+class TestTestingTimeProperties:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 13, 21, 64])
+    def test_time_positive(self, width):
+        core = Core("c", inputs=6, outputs=3, patterns=11, scan_chains=(7, 3, 3))
+        assert testing_time(core, width) > 0
+
+    def test_time_non_increasing_in_width(self):
+        core = Core("c", inputs=20, outputs=30, patterns=9, scan_chains=(15, 10, 10, 5))
+        times = [testing_time(core, w) for w in range(1, 40)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_more_patterns_takes_longer(self):
+        few = Core("c", inputs=4, outputs=4, patterns=5, scan_chains=(8,))
+        many = few.replace(patterns=50)
+        assert testing_time(many, 3) > testing_time(few, 3)
+
+    def test_paper_formula_at_width_one_for_pure_scan(self):
+        core = Core("c", inputs=0, outputs=0, patterns=3, scan_chains=(10,))
+        # si = so = 10 -> T = (1 + 10) * 3 + 10
+        assert testing_time(core, 1) == 43

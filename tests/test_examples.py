@@ -1,0 +1,47 @@
+"""Every example script must run to completion and produce sensible output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+EXAMPLES = [
+    ("quickstart.py", ["testing time", "lower bound", "d695"]),
+    ("pareto_staircase.py", ["Pareto-optimal widths", "Core 6", "s38417"]),
+    ("power_constrained_scheduling.py", ["power budget", "selective preemption", "cycles"]),
+    ("data_volume_tradeoff.py", ["Effective TAM widths", "T_min", "D_min"]),
+    ("custom_soc_from_file.py", ["stb_demo", "testing time", "lower bound"]),
+    ("multisite_testing.py", ["sites", "batch", "Fastest batch"]),
+]
+
+
+def _run_example(name: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(name, expected):
+    output = _run_example(name)
+    assert len(output) > 200
+    for needle in expected:
+        assert needle in output, f"{name} output is missing {needle!r}"
+
+
+def test_examples_directory_is_covered():
+    """Every example shipped in examples/ is exercised by this test module."""
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == {name for name, _ in EXAMPLES}

@@ -1,0 +1,84 @@
+"""Tests for CSV export (repro.analysis.export)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.experiments import Table1Row, Table2Row
+from repro.analysis.export import (
+    save_csv,
+    series_to_csv,
+    sweep_to_csv,
+    table1_to_csv,
+    table2_to_csv,
+)
+from repro.core.data_volume import TamSweep
+
+
+def _rows(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+@pytest.fixture
+def table1_rows():
+    return [
+        Table1Row("d695", 16, 41232, 43410, 43423, 47574),
+        Table1Row("d695", 32, 20616, 22229, 21757, 29039),
+    ]
+
+
+@pytest.fixture
+def table2_rows():
+    return [
+        Table2Row("p22810", 0.3, 140222, 63, 7377480, 44, 1.103, 48, 164420, 7892160),
+    ]
+
+
+@pytest.fixture
+def sweep():
+    return TamSweep(soc_name="x", widths=(2, 4, 8), testing_times=(100, 60, 40))
+
+
+class TestTableExport:
+    def test_table1_csv_structure(self, table1_rows):
+        rows = _rows(table1_to_csv(table1_rows))
+        assert rows[0][0] == "soc"
+        assert len(rows) == 3
+        assert rows[1] == ["d695", "16", "41232", "43410", "43423", "47574"]
+
+    def test_table2_csv_structure(self, table2_rows):
+        rows = _rows(table2_to_csv(table2_rows))
+        assert rows[0][-1] == "data_volume_at_effective"
+        assert rows[1][0] == "p22810"
+        assert rows[1][1] == "0.3"
+
+    def test_empty_tables(self):
+        assert len(_rows(table1_to_csv([]))) == 1
+        assert len(_rows(table2_to_csv([]))) == 1
+
+
+class TestSweepExport:
+    def test_sweep_csv_basic(self, sweep):
+        rows = _rows(sweep_to_csv(sweep))
+        assert rows[0] == ["tam_width", "testing_time", "data_volume"]
+        assert rows[1] == ["2", "100", "200"]
+        assert len(rows) == 4
+
+    def test_sweep_csv_with_cost_columns(self, sweep):
+        rows = _rows(sweep_to_csv(sweep, alphas=(0.0, 1.0)))
+        assert rows[0][-2:] == ["cost_alpha_0.0", "cost_alpha_1.0"]
+        # alpha=1 cost at the fastest width is exactly 1.0
+        assert float(rows[3][-1]) == pytest.approx(1.0)
+
+    def test_series_csv(self):
+        rows = _rows(series_to_csv([(1, 10), (2, 20)], x_label="w", y_label="t"))
+        assert rows == [["w", "t"], ["1", "10"], ["2", "20"]]
+
+
+class TestSaveCsv:
+    def test_save_round_trip(self, tmp_path, sweep):
+        path = tmp_path / "sweep.csv"
+        text = sweep_to_csv(sweep)
+        save_csv(text, path)
+        assert path.read_text(encoding="utf-8") == text

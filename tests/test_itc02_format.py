@@ -1,0 +1,146 @@
+"""Unit tests for the ITC'02-style SOC file format (repro.soc.itc02)."""
+
+import pytest
+
+from repro.soc.benchmarks import d695
+from repro.soc.constraints import ConstraintSet
+from repro.soc.core import Core
+from repro.soc.itc02 import (
+    SocFormatError,
+    format_soc,
+    load_soc,
+    parse_soc,
+    parse_soc_with_constraints,
+    save_soc,
+)
+from repro.soc.soc import Soc
+
+SAMPLE = """
+# A small example SOC
+SocName demo
+Core alpha inputs=4 outputs=4 patterns=10 scan=8,8
+Core beta  inputs=2 outputs=3 patterns=20 scan=6 power=33
+Core gamma inputs=5 outputs=5 patterns=5 scan=10,10,10 bist=engine0
+Core delta inputs=6 outputs=2 patterns=30 parent=alpha
+
+PowerMax 120
+Precedence alpha delta
+Concurrency beta gamma
+MaxPreemptions gamma 2
+DefaultPreemptions 1
+"""
+
+
+class TestParsing:
+    def test_parse_soc_structure(self):
+        soc = parse_soc(SAMPLE)
+        assert soc.name == "demo"
+        assert soc.core_names == ("alpha", "beta", "gamma", "delta")
+        assert soc.core("alpha").scan_chains == (8, 8)
+        assert soc.core("beta").power == 33
+        assert soc.core("gamma").bist_resource == "engine0"
+        assert soc.core("delta").parent == "alpha"
+        assert soc.core("delta").is_combinational
+
+    def test_parse_constraints(self):
+        _, constraints = parse_soc_with_constraints(SAMPLE)
+        assert constraints.power_max == 120
+        assert ("alpha", "delta") in constraints.precedence
+        assert not constraints.allows_concurrent("beta", "gamma")
+        assert constraints.preemption_limit("gamma") == 2
+        assert constraints.preemption_limit("beta") == 1  # default
+
+    def test_hierarchy_becomes_concurrency_constraint(self):
+        _, constraints = parse_soc_with_constraints(SAMPLE)
+        assert not constraints.allows_concurrent("alpha", "delta")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nSocName x\n  # indented comment\nCore a inputs=1 outputs=1 patterns=1\n"
+        soc = parse_soc(text)
+        assert soc.name == "x"
+        assert len(soc) == 1
+
+    def test_inline_comment(self):
+        text = "SocName x\nCore a inputs=1 outputs=1 patterns=2  # two patterns\n"
+        assert parse_soc(text).core("a").patterns == 2
+
+
+class TestParseErrors:
+    def test_missing_socname(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("Core a inputs=1 outputs=1 patterns=1\n")
+
+    def test_no_cores(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nBogus 1\nCore a inputs=1 outputs=1 patterns=1\n")
+
+    def test_core_without_name(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore\n")
+
+    def test_bad_key_value_token(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore a inputs\n")
+
+    def test_unknown_core_attribute(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore a wires=3\n")
+
+    def test_non_integer_value(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore a inputs=three outputs=1 patterns=1\n")
+
+    def test_bad_precedence_arity(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore a inputs=1 outputs=1 patterns=1\nPrecedence a\n")
+
+    def test_bad_powermax_arity(self):
+        with pytest.raises(SocFormatError):
+            parse_soc("SocName x\nCore a inputs=1 outputs=1 patterns=1\nPowerMax 1 2\n")
+
+    def test_error_message_contains_line_number(self):
+        text = "SocName x\nCore a inputs=1 outputs=1 patterns=1\nBogus\n"
+        with pytest.raises(SocFormatError, match="line 3"):
+            parse_soc(text)
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        soc, constraints = parse_soc_with_constraints(SAMPLE)
+        text = format_soc(soc, constraints)
+        soc2, constraints2 = parse_soc_with_constraints(text)
+        assert soc2 == soc
+        assert set(constraints2.precedence) == set(constraints.precedence)
+        assert set(constraints2.concurrency) == set(constraints.concurrency)
+        assert constraints2.power_max == constraints.power_max
+        assert dict(constraints2.max_preemptions) == dict(constraints.max_preemptions)
+        assert constraints2.default_preemptions == constraints.default_preemptions
+
+    def test_round_trip_d695(self):
+        soc = d695()
+        assert parse_soc(format_soc(soc)) == soc
+
+    def test_round_trip_fractional_power(self):
+        soc = Soc("x", (Core("a", inputs=1, outputs=1, patterns=1, power=1.5),))
+        assert parse_soc(format_soc(soc)).core("a").power == 1.5
+
+    def test_save_and_load(self, tmp_path):
+        soc, constraints = parse_soc_with_constraints(SAMPLE)
+        path = tmp_path / "demo.soc"
+        save_soc(soc, path, constraints)
+        loaded, loaded_constraints = load_soc(path)
+        assert loaded == soc
+        assert loaded_constraints.power_max == constraints.power_max
+
+    def test_save_without_constraints(self, tmp_path):
+        soc = d695()
+        path = tmp_path / "d695.soc"
+        save_soc(soc, path)
+        loaded, constraints = load_soc(path)
+        assert loaded == soc
+        assert constraints.power_max is None
+        assert constraints.precedence == ()

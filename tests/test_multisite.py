@@ -1,0 +1,102 @@
+"""Tests for the multisite testing model (repro.analysis.multisite)."""
+
+import pytest
+
+from repro.analysis.multisite import (
+    MultisitePoint,
+    TesterModel,
+    best_multisite_width,
+    evaluate_multisite,
+)
+from repro.core.data_volume import TamSweep
+
+
+@pytest.fixture
+def sweep():
+    # A simple staircase: wider TAM -> shorter test, saturating at 60 cycles.
+    widths = (4, 8, 16, 32)
+    times = (400, 210, 120, 80)
+    return TamSweep(soc_name="x", widths=widths, testing_times=times)
+
+
+class TestTesterModel:
+    def test_sites(self):
+        tester = TesterModel(channels=64, buffer_depth=1000)
+        assert tester.sites(4) == 16
+        assert tester.sites(16) == 4
+        assert tester.sites(48) == 1
+        assert tester.sites(100) == 1  # never zero sites
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TesterModel(channels=0, buffer_depth=10)
+        with pytest.raises(ValueError):
+            TesterModel(channels=8, buffer_depth=0)
+        with pytest.raises(ValueError):
+            TesterModel(channels=8, buffer_depth=10, reload_cycles=-1)
+        with pytest.raises(ValueError):
+            TesterModel(channels=8, buffer_depth=10).sites(0)
+
+    def test_buffer_reloads(self):
+        tester = TesterModel(channels=8, buffer_depth=100)
+        assert tester.buffer_reloads(100) == 0
+        assert tester.buffer_reloads(101) == 1
+        assert tester.buffer_reloads(250) == 2
+        with pytest.raises(ValueError):
+            tester.buffer_reloads(0)
+
+    def test_insertion_time_includes_reload_cost(self):
+        tester = TesterModel(channels=8, buffer_depth=100, reload_cycles=50)
+        assert tester.insertion_time(90) == 90
+        assert tester.insertion_time(250) == 250 + 2 * 50
+
+
+class TestEvaluateMultisite:
+    def test_point_fields(self, sweep):
+        tester = TesterModel(channels=64, buffer_depth=500, reload_cycles=100)
+        points = evaluate_multisite(sweep, tester, batch_size=100)
+        assert [p.width for p in points] == list(sweep.widths)
+        for point in points:
+            assert isinstance(point, MultisitePoint)
+            assert point.sites == tester.sites(point.width)
+            assert point.insertions == -(-100 // point.sites)
+            assert point.batch_time == point.insertions * point.insertion_time
+
+    def test_subset_of_widths(self, sweep):
+        tester = TesterModel(channels=64, buffer_depth=500)
+        points = evaluate_multisite(sweep, tester, batch_size=10, widths=(8, 32))
+        assert [p.width for p in points] == [8, 32]
+
+    def test_invalid_batch(self, sweep):
+        tester = TesterModel(channels=64, buffer_depth=500)
+        with pytest.raises(ValueError):
+            evaluate_multisite(sweep, tester, batch_size=0)
+
+    def test_narrow_width_wins_with_many_channels(self, sweep):
+        """When parallel sites dominate, the narrowest TAM gives best throughput."""
+        tester = TesterModel(channels=256, buffer_depth=10_000)
+        best = best_multisite_width(sweep, tester, batch_size=1000)
+        # 64 sites at W=4 (400 cycles each) beat 8 sites at W=32 (80 cycles).
+        assert best.width == 4
+
+    def test_wide_width_wins_for_single_device(self, sweep):
+        """For a single SOC there is no multisite benefit: fastest test wins."""
+        tester = TesterModel(channels=32, buffer_depth=10_000)
+        best = best_multisite_width(sweep, tester, batch_size=1)
+        assert best.width == 32
+
+    def test_buffer_limit_pushes_toward_narrow_tams(self, sweep):
+        """If wide (long? no: short) tests fit but narrow ones need reloads, the
+        trade-off shifts; with a tiny buffer and huge reload cost the width whose
+        testing time fits the buffer is preferred."""
+        # Only the W=32 test (80 cycles) fits a buffer of 100 bits per pin.
+        expensive_reload = TesterModel(channels=32, buffer_depth=100, reload_cycles=10_000)
+        best = best_multisite_width(sweep, expensive_reload, batch_size=4)
+        assert best.width == 32
+        assert best.buffer_reloads == 0
+
+    def test_batch_time_monotone_in_batch_size(self, sweep):
+        tester = TesterModel(channels=64, buffer_depth=1000)
+        small = best_multisite_width(sweep, tester, batch_size=10).batch_time
+        large = best_multisite_width(sweep, tester, batch_size=100).batch_time
+        assert large >= small

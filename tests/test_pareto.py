@@ -1,0 +1,129 @@
+"""Unit tests for Pareto analysis and preferred widths (repro.wrapper.pareto)."""
+
+import pytest
+
+from repro.soc.core import Core
+from repro.wrapper.design_wrapper import testing_time
+from repro.wrapper.pareto import (
+    highest_pareto_width,
+    largest_pareto_width_not_exceeding,
+    minimum_area,
+    minimum_testing_time,
+    pareto_points,
+    preferred_width,
+    testing_time_curve,
+)
+
+
+@pytest.fixture
+def core():
+    return Core("c", inputs=12, outputs=20, patterns=15, scan_chains=(14, 10, 8, 8, 4))
+
+
+class TestTestingTimeCurve:
+    def test_curve_length(self, core):
+        assert len(testing_time_curve(core, 40)) == 40
+
+    def test_curve_matches_testing_time(self, core):
+        curve = testing_time_curve(core, 10)
+        assert curve[0] == testing_time(core, 1)
+        assert curve[9] == testing_time(core, 10)
+
+    def test_curve_is_non_increasing(self, core):
+        curve = testing_time_curve(core, 64)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_invalid_max_width(self, core):
+        with pytest.raises(ValueError):
+            testing_time_curve(core, 0)
+
+
+class TestParetoPoints:
+    def test_width_one_always_present(self, core):
+        points = pareto_points(core, 32)
+        assert points[0].width == 1
+
+    def test_strictly_decreasing_times(self, core):
+        points = pareto_points(core, 64)
+        times = [p.time for p in points]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_strictly_increasing_widths(self, core):
+        points = pareto_points(core, 64)
+        widths = [p.width for p in points]
+        assert all(a < b for a, b in zip(widths, widths[1:]))
+
+    def test_each_point_is_a_strict_improvement(self, core):
+        curve = testing_time_curve(core, 64)
+        for point in pareto_points(core, 64):
+            if point.width > 1:
+                assert curve[point.width - 1] < curve[point.width - 2]
+
+    def test_highest_pareto_width_saturates(self, core):
+        top = highest_pareto_width(core, 64)
+        curve = testing_time_curve(core, 64)
+        assert curve[top - 1] == curve[-1]
+
+    def test_minimum_testing_time(self, core):
+        assert minimum_testing_time(core, 64) == testing_time_curve(core, 64)[-1]
+
+    def test_area_property(self, core):
+        point = pareto_points(core, 8)[-1]
+        assert point.area == point.width * point.time
+
+    def test_minimum_area_at_most_width_one_area(self, core):
+        assert minimum_area(core, 64) <= testing_time(core, 1)
+
+    def test_largest_pareto_width_not_exceeding(self, core):
+        points = pareto_points(core, 64)
+        widths = [p.width for p in points]
+        for query in range(1, 30):
+            expected = max(w for w in widths if w <= query)
+            assert largest_pareto_width_not_exceeding(core, query, 64) == expected
+
+    def test_largest_pareto_width_rejects_zero(self, core):
+        with pytest.raises(ValueError):
+            largest_pareto_width_not_exceeding(core, 0, 64)
+
+    def test_combinational_core_saturates_quickly(self):
+        comb = Core.combinational("c", inputs=4, outputs=4, patterns=10)
+        assert highest_pareto_width(comb, 64) <= 4
+
+
+class TestPreferredWidth:
+    def test_zero_percent_gives_saturating_width(self, core):
+        width = preferred_width(core, max_width=64, percent=0.0, delta=0)
+        curve = testing_time_curve(core, 64)
+        assert curve[width - 1] == curve[-1]
+
+    def test_larger_percent_never_increases_width(self, core):
+        previous = None
+        for percent in (0, 1, 2, 5, 10, 20, 50):
+            width = preferred_width(core, max_width=64, percent=percent, delta=0)
+            if previous is not None:
+                assert width <= previous
+            previous = width
+
+    def test_time_within_percent_bound(self, core):
+        for percent in (1, 5, 10, 25):
+            width = preferred_width(core, max_width=64, percent=percent, delta=0)
+            curve = testing_time_curve(core, 64)
+            assert curve[width - 1] <= (1 + percent / 100) * curve[-1]
+
+    def test_delta_bumps_to_highest_pareto_width(self, core):
+        top = highest_pareto_width(core, 64)
+        loose = preferred_width(core, max_width=64, percent=40, delta=0)
+        if loose < top:
+            bumped = preferred_width(core, max_width=64, percent=40, delta=top - loose)
+            assert bumped == top
+
+    def test_delta_zero_no_bump(self, core):
+        width = preferred_width(core, max_width=64, percent=40, delta=0)
+        curve = testing_time_curve(core, 64)
+        assert curve[width - 1] <= 1.4 * curve[-1]
+
+    def test_invalid_arguments(self, core):
+        with pytest.raises(ValueError):
+            preferred_width(core, percent=-1)
+        with pytest.raises(ValueError):
+            preferred_width(core, delta=-1)

@@ -1,0 +1,95 @@
+"""Unit tests for rectangle sets (repro.core.rectangles)."""
+
+import pytest
+
+from repro.core.rectangles import Rectangle, RectangleSet, build_rectangle_sets
+from repro.soc.core import Core
+from repro.wrapper.design_wrapper import testing_time
+from repro.wrapper.pareto import pareto_points
+
+
+@pytest.fixture
+def core():
+    return Core("c", inputs=10, outputs=14, patterns=9, scan_chains=(12, 8, 8, 4))
+
+
+class TestRectangle:
+    def test_area(self):
+        rect = Rectangle(core="c", width=4, time=100)
+        assert rect.area == 400
+
+
+class TestRectangleSet:
+    def test_points_match_pareto_module(self, core):
+        rect_set = RectangleSet(core, max_width=32)
+        assert list(rect_set.points) == pareto_points(core, 32)
+
+    def test_rejects_bad_max_width(self, core):
+        with pytest.raises(ValueError):
+            RectangleSet(core, max_width=0)
+
+    def test_rectangles_are_one_per_point(self, core):
+        rect_set = RectangleSet(core, max_width=32)
+        assert len(rect_set.rectangles) == len(rect_set)
+        for rect, point in zip(rect_set.rectangles, rect_set.points):
+            assert rect.width == point.width
+            assert rect.time == point.time
+            assert rect.core == core.name
+
+    def test_effective_width_snaps_down(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        widths = [p.width for p in rect_set.points]
+        for query in range(1, 40):
+            expected = max(w for w in widths if w <= query)
+            assert rect_set.effective_width(query) == expected
+
+    def test_effective_width_rejects_zero(self, core):
+        with pytest.raises(ValueError):
+            RectangleSet(core).effective_width(0)
+
+    def test_time_at_matches_wrapper_time(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        for width in (1, 2, 5, 9, 17, 33, 64):
+            assert rect_set.time_at(width) == testing_time(core, width)
+
+    def test_min_time_and_max_pareto_width(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        assert rect_set.min_time == rect_set.time_at(64)
+        assert rect_set.time_at(rect_set.max_pareto_width) == rect_set.min_time
+
+    def test_min_area(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        assert rect_set.min_area == min(p.width * p.time for p in rect_set.points)
+
+    def test_preferred_width_respects_cap(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        width = rect_set.preferred_width(percent=5, delta=0, width_cap=6)
+        assert width <= 6
+
+    def test_preferred_width_is_pareto(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        width = rect_set.preferred_width(percent=5, delta=2, width_cap=64)
+        assert width in {p.width for p in rect_set.points}
+
+    def test_preemption_overhead_positive(self, core):
+        rect_set = RectangleSet(core, max_width=64)
+        assert rect_set.preemption_overhead(4) > 0
+
+    def test_core_accessors(self, core):
+        rect_set = RectangleSet(core, max_width=16)
+        assert rect_set.core is core
+        assert rect_set.core_name == "c"
+        assert rect_set.max_width == 16
+
+
+class TestBuildRectangleSets:
+    def test_one_set_per_core(self, small_soc):
+        sets = build_rectangle_sets(small_soc, max_width=16)
+        assert set(sets) == set(small_soc.core_names)
+        for name, rect_set in sets.items():
+            assert rect_set.core_name == name
+
+    def test_respects_max_width(self, small_soc):
+        sets = build_rectangle_sets(small_soc, max_width=8)
+        for rect_set in sets.values():
+            assert rect_set.max_pareto_width <= 8

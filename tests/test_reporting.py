@@ -1,0 +1,96 @@
+"""Tests for the plain-text reporting helpers (repro.analysis.reporting)."""
+
+import pytest
+
+from repro.analysis.experiments import Table1Row, Table2Row
+from repro.analysis.reporting import (
+    ascii_plot,
+    format_figure_series,
+    format_table,
+    table1_to_text,
+    table2_to_text,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(("name", "value"), [("a", 1), ("longer", 23456)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "23456" in lines[3]
+        # All lines have equal length thanks to padding.
+        assert len({len(line.rstrip()) for line in lines[1:2]}) == 1
+
+    def test_floats_rendered_with_three_decimals(self):
+        text = format_table(("x",), [(1.23456,)])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestTableRenderers:
+    def test_table1_to_text(self):
+        rows = [
+            Table1Row(
+                soc="d695",
+                width=16,
+                lower_bound=41232,
+                non_preemptive=43410,
+                preemptive=43423,
+                power_constrained=47574,
+            )
+        ]
+        text = table1_to_text(rows)
+        assert "d695" in text
+        assert "41232" in text
+        assert "47574" in text
+        assert "NP/LB" in text
+
+    def test_table2_to_text(self):
+        rows = [
+            Table2Row(
+                soc="p22810",
+                alpha=0.3,
+                min_testing_time=140222,
+                width_of_min_time=63,
+                min_data_volume=7377480,
+                width_of_min_volume=44,
+                min_cost=1.103,
+                effective_width=48,
+                testing_time_at_effective=164420,
+                data_volume_at_effective=7892160,
+            )
+        ]
+        text = table2_to_text(rows)
+        assert "p22810" in text
+        assert "7377480" in text
+        assert "W_e" in text
+
+    def test_format_figure_series(self):
+        text = format_figure_series([(1, 10), (2, 20)], x_label="w", y_label="t")
+        assert "w" in text.splitlines()[0]
+        assert "20" in text
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_title(self):
+        series = [(w, 100 - w) for w in range(1, 20)]
+        text = ascii_plot(series, title="demo plot")
+        assert "demo plot" in text
+        assert "*" in text
+
+    def test_plot_handles_flat_series(self):
+        text = ascii_plot([(1, 5), (2, 5), (3, 5)])
+        assert "*" in text
+
+    def test_plot_empty_series(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_plot_extents_labelled(self):
+        series = [(0, 0), (10, 100)]
+        text = ascii_plot(series)
+        assert "100" in text
+        assert "0" in text

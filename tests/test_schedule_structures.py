@@ -1,0 +1,251 @@
+"""Unit tests for schedule data structures and validation (repro.schedule)."""
+
+import pytest
+
+from repro.schedule.schedule import ScheduleError, ScheduleSegment, TestSchedule
+from repro.soc.constraints import ConstraintSet
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@pytest.fixture
+def two_core_soc():
+    return Soc(
+        "duo",
+        (
+            Core("a", inputs=2, outputs=2, patterns=5, scan_chains=(4,), power=10.0),
+            Core("b", inputs=2, outputs=2, patterns=5, scan_chains=(4,), power=20.0),
+        ),
+    )
+
+
+def _schedule(segments, width=8, name="duo"):
+    return TestSchedule(soc_name=name, total_width=width, segments=tuple(segments))
+
+
+class TestScheduleSegment:
+    def test_duration_and_area(self):
+        seg = ScheduleSegment(core="a", start=10, end=25, width=4)
+        assert seg.duration == 15
+        assert seg.area == 60
+
+    def test_invalid_segments(self):
+        with pytest.raises(ScheduleError):
+            ScheduleSegment(core="a", start=-1, end=5, width=1)
+        with pytest.raises(ScheduleError):
+            ScheduleSegment(core="a", start=5, end=5, width=1)
+        with pytest.raises(ScheduleError):
+            ScheduleSegment(core="a", start=0, end=5, width=0)
+
+    def test_overlap_detection(self):
+        first = ScheduleSegment(core="a", start=0, end=10, width=1)
+        second = ScheduleSegment(core="b", start=5, end=15, width=1)
+        third = ScheduleSegment(core="c", start=10, end=20, width=1)
+        assert first.overlaps(second)
+        assert not first.overlaps(third)  # touching boundaries do not overlap
+
+
+class TestScheduleAggregates:
+    def test_makespan_and_idle_area(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=4),
+                ScheduleSegment(core="b", start=0, end=20, width=4),
+            ]
+        )
+        assert sched.makespan == 20
+        assert sched.occupied_area == 40 + 80
+        assert sched.idle_area == 8 * 20 - 120
+        assert sched.tam_utilization == pytest.approx(120 / 160)
+
+    def test_empty_schedule(self):
+        sched = _schedule([])
+        assert sched.makespan == 0
+        assert sched.tam_utilization == 0.0
+        assert sched.peak_width() == 0
+
+    def test_segments_sorted_by_start(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="b", start=10, end=20, width=1),
+                ScheduleSegment(core="a", start=0, end=5, width=1),
+            ]
+        )
+        assert sched.segments[0].core == "a"
+
+    def test_scheduled_cores_and_preemptions(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="a", start=15, end=20, width=2),
+                ScheduleSegment(core="b", start=0, end=5, width=2),
+            ]
+        )
+        assert set(sched.scheduled_cores) == {"a", "b"}
+        assert sched.preemptions_of("a") == 1
+        assert sched.preemptions_of("b") == 0
+
+    def test_core_summary(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="a", start=15, end=20, width=2),
+            ]
+        )
+        summary = sched.core_summary("a")
+        assert summary.first_begin == 0
+        assert summary.last_end == 20
+        assert summary.total_time == 15
+        assert summary.preemptions == 1
+
+    def test_core_summary_missing(self):
+        with pytest.raises(KeyError):
+            _schedule([]).core_summary("ghost")
+
+    def test_width_profile_and_peak(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=3),
+                ScheduleSegment(core="b", start=5, end=15, width=4),
+            ]
+        )
+        assert sched.peak_width() == 7
+        profile = dict(sched.width_profile())
+        assert profile[0] == 3
+        assert profile[5] == 7
+        assert profile[10] == 4
+        assert profile[15] == 0
+
+    def test_power_profile_and_peak(self, two_core_soc):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=3),
+                ScheduleSegment(core="b", start=5, end=15, width=4),
+            ]
+        )
+        assert sched.peak_power(two_core_soc) == pytest.approx(30.0)
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, two_core_soc):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=3),
+                ScheduleSegment(core="b", start=0, end=10, width=5),
+            ]
+        )
+        sched.validate(two_core_soc)
+
+    def test_unknown_core_rejected(self, two_core_soc):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="ghost", start=0, end=10, width=3),
+                ScheduleSegment(core="a", start=0, end=5, width=1),
+                ScheduleSegment(core="b", start=0, end=5, width=1),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="unknown"):
+            sched.validate(two_core_soc)
+
+    def test_missing_core_rejected(self, two_core_soc):
+        sched = _schedule([ScheduleSegment(core="a", start=0, end=10, width=3)])
+        with pytest.raises(ScheduleError, match="does not test"):
+            sched.validate(two_core_soc)
+
+    def test_width_capacity_violation(self, two_core_soc):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=6),
+                ScheduleSegment(core="b", start=0, end=10, width=6),
+            ],
+            width=8,
+        )
+        with pytest.raises(ScheduleError, match="TAM width exceeded"):
+            sched.validate(two_core_soc)
+
+    def test_self_overlap_rejected(self, two_core_soc):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="a", start=5, end=12, width=2),
+                ScheduleSegment(core="b", start=0, end=3, width=2),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="overlapping"):
+            sched.validate(two_core_soc)
+
+    def test_precedence_violation(self, two_core_soc):
+        constraints = ConstraintSet(precedence=[("a", "b")])
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="b", start=5, end=12, width=2),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="precedence"):
+            sched.validate(two_core_soc, constraints)
+
+    def test_precedence_satisfied(self, two_core_soc):
+        constraints = ConstraintSet(precedence=[("a", "b")])
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="b", start=10, end=12, width=2),
+            ]
+        )
+        sched.validate(two_core_soc, constraints)
+
+    def test_concurrency_violation(self, two_core_soc):
+        constraints = ConstraintSet(concurrency=[("a", "b")])
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="b", start=9, end=12, width=2),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="concurrency"):
+            sched.validate(two_core_soc, constraints)
+
+    def test_power_violation(self, two_core_soc):
+        constraints = ConstraintSet(power_max=25.0)
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=2),
+                ScheduleSegment(core="b", start=0, end=10, width=2),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="power"):
+            sched.validate(two_core_soc, constraints)
+
+    def test_preemption_limit_violation(self, two_core_soc):
+        constraints = ConstraintSet(max_preemptions={"a": 0})
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=5, width=2),
+                ScheduleSegment(core="a", start=10, end=15, width=2),
+                ScheduleSegment(core="b", start=0, end=5, width=2),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="preempted"):
+            sched.validate(two_core_soc, constraints)
+
+    def test_duration_check_with_expected_times(self, two_core_soc):
+        expected = {"a": {3: 20}, "b": {5: 10}}
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=3),
+                ScheduleSegment(core="b", start=0, end=10, width=5),
+            ]
+        )
+        with pytest.raises(ScheduleError, match="under-tested"):
+            sched.validate(two_core_soc, expected_times=expected)
+
+    def test_describe_contains_core_lines(self):
+        sched = _schedule(
+            [
+                ScheduleSegment(core="a", start=0, end=10, width=3),
+                ScheduleSegment(core="b", start=0, end=10, width=5),
+            ]
+        )
+        text = sched.describe()
+        assert "a:" in text and "b:" in text and "makespan" in text

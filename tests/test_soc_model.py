@@ -1,0 +1,134 @@
+"""Unit tests for the Soc data model (repro.soc.soc)."""
+
+import pytest
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc, SocValidationError
+
+
+def _cores(*names):
+    return tuple(Core(n, inputs=2, outputs=2, patterns=3, scan_chains=(4,)) for n in names)
+
+
+class TestSocConstruction:
+    def test_basic(self):
+        soc = Soc("soc1", _cores("a", "b"))
+        assert soc.name == "soc1"
+        assert len(soc) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SocValidationError):
+            Soc("", _cores("a"))
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(SocValidationError):
+            Soc("soc", ())
+
+    def test_duplicate_core_names_rejected(self):
+        with pytest.raises(SocValidationError):
+            Soc("soc", _cores("a", "a"))
+
+    def test_unknown_parent_rejected(self):
+        cores = (Core("a", inputs=1, outputs=1, patterns=1, parent="ghost"),)
+        with pytest.raises(SocValidationError):
+            Soc("soc", cores)
+
+    def test_self_parent_rejected(self):
+        cores = (Core("a", inputs=1, outputs=1, patterns=1, parent="a"),)
+        with pytest.raises(SocValidationError):
+            Soc("soc", cores)
+
+    def test_parent_cycle_rejected(self):
+        cores = (
+            Core("a", inputs=1, outputs=1, patterns=1, parent="b"),
+            Core("b", inputs=1, outputs=1, patterns=1, parent="a"),
+        )
+        with pytest.raises(SocValidationError):
+            Soc("soc", cores)
+
+    def test_valid_hierarchy_accepted(self):
+        cores = (
+            Core("top", inputs=1, outputs=1, patterns=1),
+            Core("mid", inputs=1, outputs=1, patterns=1, parent="top"),
+            Core("leaf", inputs=1, outputs=1, patterns=1, parent="mid"),
+        )
+        soc = Soc("soc", cores)
+        assert soc.children_of("top") == (soc.core("mid"),)
+
+
+class TestContainerProtocol:
+    def test_iteration_preserves_order(self):
+        soc = Soc("soc", _cores("x", "y", "z"))
+        assert [c.name for c in soc] == ["x", "y", "z"]
+        assert soc.core_names == ("x", "y", "z")
+
+    def test_contains_by_name_and_core(self):
+        soc = Soc("soc", _cores("x", "y"))
+        assert "x" in soc
+        assert soc.core("y") in soc
+        assert "nope" not in soc
+
+    def test_getitem_int_and_str(self):
+        soc = Soc("soc", _cores("x", "y"))
+        assert soc[0].name == "x"
+        assert soc["y"].name == "y"
+
+    def test_getitem_bad_type(self):
+        soc = Soc("soc", _cores("x"))
+        with pytest.raises(TypeError):
+            soc[1.5]  # type: ignore[index]
+
+    def test_core_lookup_missing_raises(self):
+        soc = Soc("soc", _cores("x"))
+        with pytest.raises(KeyError):
+            soc.core("missing")
+
+
+class TestAggregates:
+    def test_totals(self):
+        soc = Soc("soc", _cores("a", "b", "c"))
+        assert soc.total_patterns == 9
+        assert soc.total_scan_cells == 12
+        assert soc.total_test_bits == sum(c.total_test_bits for c in soc.cores)
+
+    def test_max_test_power(self):
+        cores = (
+            Core("a", inputs=1, outputs=1, patterns=1, power=5.0),
+            Core("b", inputs=1, outputs=1, patterns=1, power=11.0),
+        )
+        assert Soc("soc", cores).max_test_power() == 11.0
+
+    def test_bist_groups(self):
+        cores = (
+            Core("a", inputs=1, outputs=1, patterns=1, bist_resource="e0"),
+            Core("b", inputs=1, outputs=1, patterns=1, bist_resource="e0"),
+            Core("c", inputs=1, outputs=1, patterns=1, bist_resource="e1"),
+            Core("d", inputs=1, outputs=1, patterns=1),
+        )
+        groups = Soc("soc", cores).bist_groups()
+        assert groups == {"e0": ("a", "b"), "e1": ("c",)}
+
+
+class TestTransforms:
+    def test_with_cores(self):
+        soc = Soc("soc", _cores("a", "b"))
+        reduced = soc.with_cores(_cores("a"))
+        assert reduced.name == "soc"
+        assert len(reduced) == 1
+
+    def test_subset(self):
+        soc = Soc("soc", _cores("a", "b", "c"))
+        sub = soc.subset(["c", "a"])
+        assert sub.core_names == ("c", "a")
+        assert sub.name == "soc-subset"
+
+    def test_renamed(self):
+        soc = Soc("soc", _cores("a",))
+        assert soc.renamed("other").name == "other"
+        assert soc.renamed("other").cores == soc.cores
+
+    def test_summary_lists_every_core(self):
+        soc = Soc("soc", _cores("a", "b"))
+        summary = soc.summary()
+        assert "soc" in summary
+        assert "a:" in summary and "b:" in summary

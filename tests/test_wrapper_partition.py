@@ -1,0 +1,119 @@
+"""Unit tests for BFD partitioning of scan elements (repro.wrapper.partition)."""
+
+import pytest
+
+from repro.wrapper.partition import (
+    WrapperChain,
+    distribute_bidir_cells,
+    distribute_input_cells,
+    distribute_output_cells,
+    partition_scan_chains,
+)
+
+
+class TestWrapperChain:
+    def test_lengths(self):
+        chain = WrapperChain(internal_chains=[5, 3], input_cells=2, output_cells=4, bidir_cells=1)
+        assert chain.internal_length == 8
+        assert chain.scan_in_length == 8 + 2 + 1
+        assert chain.scan_out_length == 8 + 4 + 1
+
+    def test_is_empty(self):
+        assert WrapperChain().is_empty
+        assert not WrapperChain(input_cells=1).is_empty
+        assert not WrapperChain(internal_chains=[2]).is_empty
+
+
+class TestPartitionScanChains:
+    def test_single_bin_gets_everything(self):
+        chains = partition_scan_chains([5, 3, 7], 1)
+        assert len(chains) == 1
+        assert sorted(chains[0].internal_chains) == [3, 5, 7]
+
+    def test_bins_than_chains_leaves_empties(self):
+        chains = partition_scan_chains([5, 3], 4)
+        assert len(chains) == 4
+        assert sum(len(c.internal_chains) for c in chains) == 2
+        assert sum(1 for c in chains if c.is_empty) == 2
+
+    def test_balances_equal_chains(self):
+        chains = partition_scan_chains([10] * 6, 3)
+        assert [c.internal_length for c in chains] == [20, 20, 20]
+
+    def test_lpt_is_optimal_for_simple_case(self):
+        # chains 7,6,5,4 over 2 bins: LPT gives {7,4} and {6,5} -> makespan 11.
+        chains = partition_scan_chains([7, 6, 5, 4], 2)
+        assert max(c.internal_length for c in chains) == 11
+
+    def test_total_cells_preserved(self):
+        lengths = [13, 8, 21, 3, 5, 2]
+        chains = partition_scan_chains(lengths, 3)
+        assert sum(c.internal_length for c in chains) == sum(lengths)
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(ValueError):
+            partition_scan_chains([1], 0)
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ValueError):
+            partition_scan_chains([0], 2)
+
+    def test_empty_scan_chain_list(self):
+        chains = partition_scan_chains([], 3)
+        assert all(c.is_empty for c in chains)
+
+    def test_deterministic(self):
+        first = partition_scan_chains([9, 9, 4, 4, 2], 3)
+        second = partition_scan_chains([9, 9, 4, 4, 2], 3)
+        assert [c.internal_chains for c in first] == [c.internal_chains for c in second]
+
+
+class TestCellDistribution:
+    def test_input_cells_balance_scan_in(self):
+        chains = partition_scan_chains([10, 2], 2)
+        distribute_input_cells(chains, 6)
+        # The 6 input cells should flow to the shorter chain first.
+        scan_ins = sorted(c.scan_in_length for c in chains)
+        assert scan_ins == [8, 10]
+
+    def test_output_cells_balance_scan_out(self):
+        chains = partition_scan_chains([10, 2], 2)
+        distribute_output_cells(chains, 4)
+        scan_outs = sorted(c.scan_out_length for c in chains)
+        assert scan_outs == [6, 10]
+
+    def test_input_cells_do_not_affect_scan_out(self):
+        chains = partition_scan_chains([4, 4], 2)
+        distribute_input_cells(chains, 5)
+        assert all(c.scan_out_length == 4 for c in chains)
+
+    def test_bidir_cells_affect_both(self):
+        chains = partition_scan_chains([], 2)
+        distribute_bidir_cells(chains, 3)
+        assert sum(c.bidir_cells for c in chains) == 3
+        assert all(c.scan_in_length == c.scan_out_length for c in chains)
+
+    def test_counts_conserved(self):
+        chains = partition_scan_chains([5, 5, 5], 3)
+        distribute_input_cells(chains, 11)
+        distribute_output_cells(chains, 7)
+        distribute_bidir_cells(chains, 2)
+        assert sum(c.input_cells for c in chains) == 11
+        assert sum(c.output_cells for c in chains) == 7
+        assert sum(c.bidir_cells for c in chains) == 2
+
+    def test_zero_count_is_noop(self):
+        chains = partition_scan_chains([5], 1)
+        distribute_input_cells(chains, 0)
+        assert chains[0].input_cells == 0
+
+    def test_negative_count_rejected(self):
+        chains = partition_scan_chains([5], 1)
+        with pytest.raises(ValueError):
+            distribute_input_cells(chains, -1)
+
+    def test_balanced_spread_over_empty_chains(self):
+        chains = partition_scan_chains([], 4)
+        distribute_input_cells(chains, 10)
+        counts = sorted(c.input_cells for c in chains)
+        assert counts == [2, 2, 3, 3]
