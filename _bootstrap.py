@@ -1,0 +1,23 @@
+"""Shared source-tree bootstrap for the test and benchmark harnesses.
+
+Makes the ``repro`` package importable straight from ``src/`` so the suite
+also runs on minimal environments where ``pip install -e .`` is unavailable
+(e.g. offline machines without the ``wheel`` package).  Both ``conftest.py``
+and ``benchmarks/conftest.py`` call :func:`ensure_src_on_path` instead of
+duplicating the ``sys.path`` manipulation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def ensure_src_on_path() -> str:
+    """Prepend the ``src/`` directory to ``sys.path`` (idempotent)."""
+    if SRC_DIR not in sys.path:
+        sys.path.insert(0, SRC_DIR)
+    return SRC_DIR

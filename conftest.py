@@ -1,13 +1,9 @@
 """Repository-level pytest configuration.
 
-Makes the package importable straight from the source tree so the test suite
-and benchmarks also run on minimal environments where ``pip install -e .``
-is unavailable (e.g. offline machines without the ``wheel`` package).
+The actual ``sys.path`` bootstrap lives in :mod:`_bootstrap` so the benchmark
+harness can share it; see that module's docstring.
 """
 
-import os
-import sys
+from _bootstrap import ensure_src_on_path
 
-_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+ensure_src_on_path()

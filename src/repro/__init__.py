@@ -29,6 +29,10 @@ The public API re-exported here covers the full framework:
   ``exhaustive_schedule``.
 * Experiments: ``run_table1``, ``run_table2``, ``figure1_staircase``,
   ``figure9_curves``.
+* Sweep engine: ``ParameterGrid``, ``ScheduleJob``, ``run_jobs``,
+  ``best_schedule_grid``, ``parallel_tam_sweep`` -- declarative parameter
+  grids executed serially or across a ``multiprocessing`` worker pool with
+  bit-identical results.
 """
 
 from repro.soc import (
@@ -88,19 +92,31 @@ from repro.baselines import (
     fixed_width_schedule,
     shelf_schedule,
 )
+from repro.engine import (
+    EngineContext,
+    EngineError,
+    JobResult,
+    ParameterGrid,
+    ScheduleJob,
+    SweepResults,
+    best_schedule_grid,
+    parallel_tam_sweep,
+    run_jobs,
+)
 from repro.analysis import (
     TesterModel,
     best_multisite_width,
     evaluate_multisite,
     figure1_staircase,
     figure9_curves,
+    multisite_curve,
     run_table1,
     run_table2,
     table1_to_text,
     table2_to_text,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -156,6 +172,16 @@ __all__ = [
     "fixed_width_schedule",
     "shelf_schedule",
     "exhaustive_schedule",
+    # engine
+    "ParameterGrid",
+    "ScheduleJob",
+    "JobResult",
+    "EngineContext",
+    "EngineError",
+    "SweepResults",
+    "run_jobs",
+    "best_schedule_grid",
+    "parallel_tam_sweep",
     # analysis
     "run_table1",
     "run_table2",
@@ -166,4 +192,5 @@ __all__ = [
     "TesterModel",
     "evaluate_multisite",
     "best_multisite_width",
+    "multisite_curve",
 ]

@@ -26,6 +26,7 @@ from repro.analysis.multisite import (
     TesterModel,
     best_multisite_width,
     evaluate_multisite,
+    multisite_curve,
 )
 from repro.analysis.export import (
     save_csv,
@@ -50,6 +51,7 @@ __all__ = [
     "MultisitePoint",
     "evaluate_multisite",
     "best_multisite_width",
+    "multisite_curve",
     "table1_to_csv",
     "table2_to_csv",
     "sweep_to_csv",

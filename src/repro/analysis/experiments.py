@@ -11,6 +11,11 @@ evaluation section (see the per-experiment index in DESIGN.md):
   core (Core 6 of p93791 in the paper).
 * :func:`figure9_curves` -- Figure 9: SOC-level ``T(W)``, ``D(W)`` and the
   cost curves ``C(W)`` for chosen ``alpha`` values.
+
+All drivers run on the sweep engine (:mod:`repro.engine`): the full
+width x mode x (percent, delta, slack) grid is expanded into independent
+jobs up front and executed serially or across a worker pool, with results
+guaranteed identical for every ``workers`` value.
 """
 
 from __future__ import annotations
@@ -18,13 +23,44 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.data_volume import TamSweep, sweep_tam_widths
+from repro.core.data_volume import TamSweep
 from repro.core.lower_bounds import lower_bound
-from repro.core.scheduler import SchedulerConfig, best_schedule
-from repro.soc.constraints import ConstraintSet
+from repro.core.scheduler import SchedulerConfig
+from repro.engine.api import (
+    MODE_NON_PREEMPTIVE,
+    MODE_POWER_CONSTRAINED,
+    MODE_PREEMPTIVE,
+    POWER_BUDGET_FACTOR,
+    PREEMPTION_LIMIT,
+    SCHEDULER_MODES,
+    config_grid,
+    expand_config_jobs,
+    mode_constraint_sets,
+    parallel_tam_sweep,
+    power_budget,
+    preemption_limits,
+)
+from repro.engine.jobs import EngineContext
+from repro.engine.runner import run_jobs
 from repro.soc.core import Core
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import DEFAULT_MAX_WIDTH, testing_time_curve
+
+__all__ = [
+    "TABLE1_WIDTHS",
+    "TABLE2_ALPHAS",
+    "PREEMPTION_LIMIT",
+    "POWER_BUDGET_FACTOR",
+    "Table1Row",
+    "Table2Row",
+    "Figure9Data",
+    "preemption_limits",
+    "power_budget",
+    "run_table1",
+    "run_table2",
+    "figure1_staircase",
+    "figure9_curves",
+]
 
 # The TAM widths Table 1 evaluates for each SOC.
 TABLE1_WIDTHS: Dict[str, Tuple[int, ...]] = {
@@ -41,16 +77,6 @@ TABLE2_ALPHAS: Dict[str, Tuple[float, ...]] = {
     "p34392": (0.2, 0.25, 0.3),
     "p93791": (0.5, 0.95, 0.99),
 }
-
-# Preemption limit used for the "larger cores" in the preemptive experiments.
-PREEMPTION_LIMIT = 2
-
-# Power budget = factor * max per-core test power (the paper's P_max is
-# defined relative to the per-core power values; see DESIGN.md section 5).
-# A factor just above 1.0 reproduces the paper's qualitative behaviour: the
-# power constraint barely matters at narrow TAMs (little test concurrency)
-# and increasingly dominates as the TAM gets wider.
-POWER_BUDGET_FACTOR = 1.1
 
 
 @dataclass(frozen=True)
@@ -91,23 +117,6 @@ class Table2Row:
     data_volume_at_effective: int
 
 
-def preemption_limits(soc: Soc, limit: int = PREEMPTION_LIMIT, top_fraction: float = 0.5) -> Dict[str, int]:
-    """Per-core preemption limits: the larger half of the cores get ``limit``.
-
-    The paper sets ``max_preemptions`` to 2 "for the larger cores"; we rank
-    cores by total test data volume and give the top ``top_fraction`` of them
-    the limit.
-    """
-    ranked = sorted(soc.cores, key=lambda core: core.total_test_bits, reverse=True)
-    count = max(1, int(round(len(ranked) * top_fraction)))
-    return {core.name: limit for core in ranked[:count]}
-
-
-def power_budget(soc: Soc, factor: float = POWER_BUDGET_FACTOR) -> float:
-    """The power constraint ``P_max`` used in the power-constrained rows."""
-    return factor * soc.max_test_power()
-
-
 def run_table1(
     soc: Soc,
     widths: Optional[Sequence[int]] = None,
@@ -117,6 +126,7 @@ def run_table1(
     preemption_limit: int = PREEMPTION_LIMIT,
     power_factor: float = POWER_BUDGET_FACTOR,
     max_core_width: int = DEFAULT_MAX_WIDTH,
+    workers: int = 0,
 ) -> List[Table1Row]:
     """Regenerate the Table 1 rows for one SOC.
 
@@ -124,53 +134,45 @@ def run_table1(
     non-preemptive, preemptive, and preemptive + power-constrained, each the
     best over the (``percent``, ``delta``, ``slack``) grid, exactly as the
     paper tabulates the best result over its parameter sweep.
+
+    The whole width x mode x parameter grid is expanded into one job list
+    and run on the sweep engine; ``workers > 1`` executes it on a process
+    pool with results identical to the serial path.
     """
     if widths is None:
         widths = TABLE1_WIDTHS.get(soc.name, (16, 32, 48, 64))
     base_config = SchedulerConfig(max_core_width=max_core_width)
-    limits = preemption_limits(soc, limit=preemption_limit)
+    constraints = mode_constraint_sets(
+        soc, preemption_limit=preemption_limit, power_factor=power_factor
+    )
+    context = EngineContext.for_soc(soc, constraints)
+    grid = config_grid(percents, deltas, slacks)
+    jobs = []
+    for width in widths:
+        for mode in SCHEDULER_MODES:
+            jobs.extend(
+                expand_config_jobs(
+                    soc.name,
+                    width,
+                    grid,
+                    base_config=base_config,
+                    constraints_key=None if mode == MODE_NON_PREEMPTIVE else mode,
+                    group=(width, mode),
+                    tags=(("mode", mode),),
+                    start_index=len(jobs),
+                )
+            )
+    best = run_jobs(jobs, context, workers=workers).best_by_group()
     rows = []
     for width in widths:
-        bound = lower_bound(soc, width, max_core_width=max_core_width)
-        non_preemptive = best_schedule(
-            soc,
-            width,
-            constraints=None,
-            percents=percents,
-            deltas=deltas,
-            slacks=slacks,
-            config=base_config,
-        )
-        preemptive_constraints = ConstraintSet.for_soc(soc, max_preemptions=limits)
-        preemptive = best_schedule(
-            soc,
-            width,
-            constraints=preemptive_constraints,
-            percents=percents,
-            deltas=deltas,
-            slacks=slacks,
-            config=base_config,
-        )
-        power_constraints = preemptive_constraints.with_power_max(
-            power_budget(soc, power_factor)
-        )
-        power_constrained = best_schedule(
-            soc,
-            width,
-            constraints=power_constraints,
-            percents=percents,
-            deltas=deltas,
-            slacks=slacks,
-            config=base_config,
-        )
         rows.append(
             Table1Row(
                 soc=soc.name,
                 width=width,
-                lower_bound=bound,
-                non_preemptive=non_preemptive.makespan,
-                preemptive=preemptive.makespan,
-                power_constrained=power_constrained.makespan,
+                lower_bound=lower_bound(soc, width, max_core_width=max_core_width),
+                non_preemptive=best[(width, MODE_NON_PREEMPTIVE)].makespan,
+                preemptive=best[(width, MODE_PREEMPTIVE)].makespan,
+                power_constrained=best[(width, MODE_POWER_CONSTRAINED)].makespan,
             )
         )
     return rows
@@ -182,19 +184,21 @@ def run_table2(
     widths: Optional[Sequence[int]] = None,
     config: Optional[SchedulerConfig] = None,
     sweep: Optional[TamSweep] = None,
+    workers: int = 0,
 ) -> Tuple[List[Table2Row], TamSweep]:
     """Regenerate the Table 2 rows for one SOC.
 
     A TAM-width sweep provides ``T(W)`` and ``D(W)``; for each ``alpha`` the
     effective width minimising the cost function is reported together with
-    the testing time and data volume it yields.
+    the testing time and data volume it yields.  The sweep runs on the
+    engine (one job per width) when not supplied pre-computed.
     """
     if alphas is None:
         alphas = TABLE2_ALPHAS.get(soc.name, (0.25, 0.5, 0.75))
     if sweep is None:
         if widths is None:
             widths = tuple(range(8, 65, 2))
-        sweep = sweep_tam_widths(soc, widths, config=config)
+        sweep = parallel_tam_sweep(soc, widths, config=config, workers=workers)
     rows = []
     for alpha in alphas:
         point = sweep.effective_width(alpha)
@@ -248,12 +252,13 @@ def figure9_curves(
     alphas: Sequence[float] = (0.5, 0.75),
     config: Optional[SchedulerConfig] = None,
     sweep: Optional[TamSweep] = None,
+    workers: int = 0,
 ) -> Figure9Data:
     """Figure 9: ``T(W)``, ``D(W)`` and ``C(W)`` curves for one SOC."""
     if sweep is None:
         if widths is None:
             widths = tuple(range(4, 81, 2))
-        sweep = sweep_tam_widths(soc, widths, config=config)
+        sweep = parallel_tam_sweep(soc, widths, config=config, workers=workers)
     curves = {
         alpha: [(p.width, p.cost) for p in sweep.cost_curve(alpha)] for alpha in alphas
     }

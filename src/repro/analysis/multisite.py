@@ -34,6 +34,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.data_volume import TamSweep
+from repro.core.scheduler import SchedulerConfig
+from repro.engine.api import parallel_tam_sweep
+from repro.soc.constraints import ConstraintSet
+from repro.soc.soc import Soc
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,9 @@ class TesterModel:
         Tester cycles lost every time the vector memory must be refilled from
         the workstation (only incurred when a test does not fit the buffer).
     """
+
+    # Not a test case, despite the ``Tester`` prefix.
+    __test__ = False
 
     channels: int
     buffer_depth: int
@@ -123,25 +130,49 @@ def evaluate_multisite(
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     selected = list(widths) if widths is not None else list(sweep.widths)
-    points = []
-    for width in selected:
-        testing_time = sweep.testing_time_at(width)
-        sites = tester.sites(width)
-        reloads = tester.buffer_reloads(testing_time)
-        insertion = tester.insertion_time(testing_time)
-        insertions = math.ceil(batch_size / sites)
-        points.append(
-            MultisitePoint(
-                width=width,
-                testing_time=testing_time,
-                sites=sites,
-                buffer_reloads=reloads,
-                insertion_time=insertion,
-                insertions=insertions,
-                batch_time=insertions * insertion,
-            )
-        )
-    return points
+    return [
+        _evaluate_width(width, sweep.testing_time_at(width), tester, batch_size)
+        for width in selected
+    ]
+
+
+def _evaluate_width(
+    width: int, testing_time: int, tester: TesterModel, batch_size: int
+) -> MultisitePoint:
+    """Batch-level consequences of one ``(width, T(width))`` sweep point."""
+    sites = tester.sites(width)
+    insertion = tester.insertion_time(testing_time)
+    insertions = math.ceil(batch_size / sites)
+    return MultisitePoint(
+        width=width,
+        testing_time=testing_time,
+        sites=sites,
+        buffer_reloads=tester.buffer_reloads(testing_time),
+        insertion_time=insertion,
+        insertions=insertions,
+        batch_time=insertions * insertion,
+    )
+
+
+def multisite_curve(
+    soc: Soc,
+    tester: TesterModel,
+    batch_size: int,
+    widths: Sequence[int],
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+    workers: int = 0,
+) -> List[MultisitePoint]:
+    """Schedule the SOC over ``widths`` and evaluate each width's batch time.
+
+    The scheduling sweep (the expensive part) runs on the sweep engine;
+    ``workers > 1`` fans the per-width schedules out over a process pool
+    with results identical to the serial path.
+    """
+    sweep = parallel_tam_sweep(
+        soc, widths, constraints=constraints, config=config, workers=workers
+    )
+    return evaluate_multisite(sweep, tester, batch_size)
 
 
 def best_multisite_width(

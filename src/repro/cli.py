@@ -16,25 +16,31 @@ Subcommands
     Regenerate Table 2 (effective TAM widths for tester data volume
     reduction).
 ``sweep``
-    Print the ``T(W)`` and ``D(W)`` curves of Figure 9 for one SOC.
+    Run a parameter sweep on the parallel sweep engine: the ``T(W)`` /
+    ``D(W)`` curves of Figure 9 (default), or the full Table 1 / Table 2
+    experiments, optionally across ``--workers`` processes and exported to
+    CSV/JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import figure1_staircase, run_table1, run_table2
+from repro.analysis.export import save_csv, sweep_to_csv, table1_to_csv, table2_to_csv
 from repro.analysis.reporting import (
     ascii_plot,
     format_figure_series,
     table1_to_text,
     table2_to_text,
 )
-from repro.core.data_volume import sweep_tam_widths
 from repro.core.lower_bounds import lower_bound
 from repro.core.scheduler import SchedulerConfig, schedule_soc
+from repro.engine.api import parallel_tam_sweep
 from repro.schedule.gantt import render_gantt
 from repro.soc.benchmarks import get_benchmark, list_benchmarks
 from repro.soc.itc02 import load_soc
@@ -54,6 +60,23 @@ def _add_soc_argument(parser: argparse.ArgumentParser) -> None:
         "soc",
         help="benchmark name (%s) or path to an SOC description file"
         % ", ".join(list_benchmarks()),
+    )
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes for the sweep engine (0 = serial; results "
+        "are identical for every value)",
     )
 
 
@@ -91,7 +114,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     soc, _ = _load(args)
     widths = args.widths or None
-    rows = run_table1(soc, widths=widths)
+    rows = run_table1(soc, widths=widths, workers=args.workers)
     print(table1_to_text(rows))
     return 0
 
@@ -99,15 +122,54 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     soc, _ = _load(args)
     widths = tuple(range(args.min_width, args.max_width + 1, args.step))
-    rows, _sweep = run_table2(soc, widths=widths, alphas=args.alphas or None)
+    rows, _sweep = run_table2(
+        soc, widths=widths, alphas=args.alphas or None, workers=args.workers
+    )
     print(table2_to_text(rows))
     return 0
 
 
+def _export(args: argparse.Namespace, csv_text: str, records: List[dict]) -> None:
+    """Write the sweep result to the CSV/JSON paths given on the command line."""
+    if args.csv:
+        save_csv(csv_text, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2)
+        print(f"wrote {args.json}")
+
+
+def _sweep_widths(args: argparse.Namespace, min_width: int, max_width: int) -> tuple:
+    """Resolve the width range, falling back to per-experiment defaults."""
+    low = args.min_width if args.min_width is not None else min_width
+    high = args.max_width if args.max_width is not None else max_width
+    step = args.step if args.step is not None else 2
+    return tuple(range(low, high + 1, step))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     soc, _ = _load(args)
-    widths = tuple(range(args.min_width, args.max_width + 1, args.step))
-    sweep = sweep_tam_widths(soc, widths)
+
+    if args.experiment == "table1":
+        rows = run_table1(soc, widths=args.widths or None, workers=args.workers)
+        print(table1_to_text(rows))
+        _export(args, table1_to_csv(rows), [dataclasses.asdict(row) for row in rows])
+        return 0
+
+    if args.experiment == "table2":
+        # Same width defaults as the ``table2`` subcommand, so both entry
+        # points report identical effective widths.
+        widths = _sweep_widths(args, 8, 64)
+        rows, _sweep = run_table2(
+            soc, widths=widths, alphas=args.alphas or None, workers=args.workers
+        )
+        print(table2_to_text(rows))
+        _export(args, table2_to_csv(rows), [dataclasses.asdict(row) for row in rows])
+        return 0
+
+    widths = _sweep_widths(args, 4, 80)
+    sweep = parallel_tam_sweep(soc, widths, workers=args.workers)
     time_series = list(zip(sweep.widths, sweep.testing_times))
     volume_series = list(zip(sweep.widths, sweep.data_volumes))
     print(ascii_plot(time_series, title=f"{soc.name}: testing time T(W)"))
@@ -120,6 +182,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             x_label="TAM width",
             y_label="testing time / data volume",
         )
+    )
+    _export(
+        args,
+        sweep_to_csv(sweep),
+        [
+            {"tam_width": w, "testing_time": t, "data_volume": d}
+            for (w, t), (_, d) in zip(time_series, volume_series)
+        ],
     )
     return 0
 
@@ -151,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 for one SOC")
     _add_soc_argument(p_t1)
     p_t1.add_argument("--widths", type=int, nargs="*", help="TAM widths to evaluate")
+    _add_workers_argument(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 for one SOC")
@@ -159,13 +230,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2.add_argument("--min-width", type=int, default=8)
     p_t2.add_argument("--max-width", type=int, default=64)
     p_t2.add_argument("--step", type=int, default=2)
+    _add_workers_argument(p_t2)
     p_t2.set_defaults(func=_cmd_table2)
 
-    p_sweep = sub.add_parser("sweep", help="T(W) and D(W) curves for one SOC")
+    p_sweep = sub.add_parser(
+        "sweep", help="parameter sweeps on the parallel sweep engine"
+    )
     _add_soc_argument(p_sweep)
-    p_sweep.add_argument("--min-width", type=int, default=4)
-    p_sweep.add_argument("--max-width", type=int, default=80)
-    p_sweep.add_argument("--step", type=int, default=2)
+    p_sweep.add_argument(
+        "--experiment",
+        choices=("curves", "table1", "table2"),
+        default="curves",
+        help="what to sweep: the T(W)/D(W) curves of Figure 9 (default), "
+        "the full Table 1 grid, or the Table 2 effective-width study",
+    )
+    p_sweep.add_argument(
+        "--min-width",
+        type=int,
+        default=None,
+        help="smallest TAM width (default: 4 for curves, 8 for table2)",
+    )
+    p_sweep.add_argument(
+        "--max-width",
+        type=int,
+        default=None,
+        help="largest TAM width (default: 80 for curves, 64 for table2)",
+    )
+    p_sweep.add_argument("--step", type=int, default=None, help="width step (default 2)")
+    p_sweep.add_argument(
+        "--widths", type=int, nargs="*", help="TAM widths (table1 experiment)"
+    )
+    p_sweep.add_argument("--alphas", type=float, nargs="*", help="table2 alphas")
+    p_sweep.add_argument("--csv", help="also write the result table to this CSV file")
+    p_sweep.add_argument("--json", help="also write the result records to this JSON file")
+    _add_workers_argument(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     return parser

@@ -140,6 +140,45 @@ def _check_alpha(alpha: float) -> None:
         raise ValueError(f"alpha must lie in [0, 1], got {alpha}")
 
 
+def normalize_sweep_widths(widths: Sequence[int], monotone: bool = True) -> List[int]:
+    """Validate and normalise the width list of a TAM sweep.
+
+    Shared by the serial sweep below and the engine-backed
+    :func:`repro.engine.api.parallel_tam_sweep` so the two stay
+    bit-compatible.
+    """
+    if not widths:
+        raise ValueError("at least one TAM width is required")
+    ordered = [int(w) for w in widths]
+    if monotone and ordered != sorted(ordered):
+        raise ValueError("monotone sweeps require widths in increasing order")
+    return ordered
+
+
+def build_tam_sweep(
+    soc_name: str,
+    widths: Sequence[int],
+    makespans: Sequence[int],
+    monotone: bool = True,
+) -> TamSweep:
+    """Assemble a :class:`TamSweep` from per-width makespans.
+
+    With ``monotone=True`` the testing-time curve is clamped to its running
+    minimum over increasing widths (the Figure 9(a) staircase; see
+    :func:`sweep_tam_widths`).
+    """
+    times: List[int] = []
+    for makespan in makespans:
+        if monotone and times:
+            makespan = min(makespan, times[-1])
+        times.append(makespan)
+    return TamSweep(
+        soc_name=soc_name,
+        widths=tuple(widths),
+        testing_times=tuple(times),
+    )
+
+
 def sweep_tam_widths(
     soc: Soc,
     widths: Sequence[int],
@@ -161,24 +200,13 @@ def sweep_tam_widths(
     the staircase the paper plots in Figure 9(a).  Pass ``monotone=False`` to
     see the raw heuristic output.
     """
-    if not widths:
-        raise ValueError("at least one TAM width is required")
-    ordered = [int(w) for w in widths]
-    if monotone and ordered != sorted(ordered):
-        raise ValueError("monotone sweeps require widths in increasing order")
+    ordered = normalize_sweep_widths(widths, monotone)
     run = scheduler or schedule_soc
-    times: List[int] = []
-    for width in ordered:
-        schedule = run(soc, width, constraints=constraints, config=config)
-        makespan = schedule.makespan
-        if monotone and times:
-            makespan = min(makespan, times[-1])
-        times.append(makespan)
-    return TamSweep(
-        soc_name=soc.name,
-        widths=tuple(ordered),
-        testing_times=tuple(times),
-    )
+    makespans = [
+        run(soc, width, constraints=constraints, config=config).makespan
+        for width in ordered
+    ]
+    return build_tam_sweep(soc.name, ordered, makespans, monotone)
 
 
 def cost_curve(sweep: TamSweep, alpha: float) -> List[CostPoint]:

@@ -1,0 +1,125 @@
+"""Declarative parameter grids for the sweep engine.
+
+A :class:`ParameterGrid` is an ordered collection of named axes; expanding it
+yields one point (a ``dict`` of axis name to value) per element of the
+cartesian product, in deterministic row-major order (the first axis varies
+slowest).  The grid is the single source of truth for both the *size* of a
+sweep and the *order* in which jobs are generated, which is what lets the
+parallel executor reproduce the serial tie-breaking exactly: the job index
+assigned during expansion is the tie-break key during aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+
+class GridError(ValueError):
+    """Raised when a parameter grid is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """An ordered, named cartesian product of parameter values.
+
+    Parameters
+    ----------
+    axes:
+        ``(name, values)`` pairs.  Expansion order is row-major: the first
+        axis varies slowest, the last axis fastest -- exactly the order of
+        the equivalent nested ``for`` loops.
+    """
+
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        normalized = []
+        seen = set()
+        for axis in self.axes:
+            name, values = axis
+            name = str(name)
+            if not name:
+                raise GridError("axis names must be non-empty strings")
+            if name in seen:
+                raise GridError(f"duplicate axis name {name!r}")
+            seen.add(name)
+            values = tuple(values)
+            if not values:
+                raise GridError(f"axis {name!r} has no values")
+            normalized.append((name, values))
+        object.__setattr__(self, "axes", tuple(normalized))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Sequence[Any]]) -> "ParameterGrid":
+        """Build a grid from an axis-name to values mapping (ordered)."""
+        return cls(tuple((name, tuple(values)) for name, values in mapping.items()))
+
+    @classmethod
+    def of(cls, **axes: Sequence[Any]) -> "ParameterGrid":
+        """Build a grid from keyword arguments, in keyword order."""
+        return cls.from_dict(axes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The axis names, in expansion order."""
+        return tuple(name for name, _ in self.axes)
+
+    def values(self, name: str) -> Tuple[Any, ...]:
+        """The values of one axis."""
+        for axis_name, axis_values in self.axes:
+            if axis_name == name:
+                return axis_values
+        raise GridError(f"grid has no axis named {name!r}")
+
+    def __len__(self) -> int:
+        if not self.axes:
+            return 0
+        count = 1
+        for _, values in self.axes:
+            count *= len(values)
+        return count
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield every grid point, row-major (first axis slowest)."""
+
+        def expand(axis_index: int, partial: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+            if axis_index == len(self.axes):
+                yield dict(partial)
+                return
+            name, values = self.axes[axis_index]
+            for value in values:
+                partial[name] = value
+                yield from expand(axis_index + 1, partial)
+            partial.pop(name, None)
+
+        if self.axes:
+            yield from expand(0, {})
+
+    def enumerate_points(self, start: int = 0) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Yield ``(index, point)`` pairs; the index is the serial job order."""
+        index = start
+        for point in self.points():
+            yield index, point
+            index += 1
+
+    def with_axis(self, name: str, values: Sequence[Any]) -> "ParameterGrid":
+        """A copy with one axis replaced (or appended if absent)."""
+        values = tuple(values)
+        axes = list(self.axes)
+        for position, (axis_name, _) in enumerate(axes):
+            if axis_name == name:
+                axes[position] = (name, values)
+                break
+        else:
+            axes.append((name, values))
+        return ParameterGrid(tuple(axes))

@@ -1,0 +1,143 @@
+"""Typed job and result records for the sweep engine.
+
+A :class:`ScheduleJob` is one independent unit of work: schedule one SOC at
+one TAM width with one :class:`~repro.core.scheduler.SchedulerConfig` and one
+(optionally named) constraint set.  Jobs reference their SOC and constraints
+*by key* into an :class:`EngineContext` rather than embedding them, so that a
+thousand-job grid pickles the (potentially large) SOC description once per
+worker instead of once per job.
+
+Everything here is a frozen dataclass built from immutable parts, so jobs
+and results are picklable (they cross process boundaries) and comparable
+(serial and parallel runs of the same grid must produce *equal* results --
+the test suite asserts bit-identical schedules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.core.scheduler import SchedulerConfig
+from repro.schedule.schedule import TestSchedule
+from repro.soc.constraints import ConstraintSet
+from repro.soc.soc import Soc
+
+
+class EngineError(RuntimeError):
+    """Raised when the engine is asked to run an ill-formed sweep."""
+
+
+@dataclass(frozen=True)
+class ScheduleJob:
+    """One schedulable grid point.
+
+    Parameters
+    ----------
+    index:
+        Position of this job in the grid expansion order.  Doubles as the
+        deterministic tie-break key during aggregation: among equal
+        makespans, the job generated first wins, which reproduces the
+        serial loop's "keep the first strict improvement" behaviour.
+    soc:
+        Key of the SOC in the :class:`EngineContext`.
+    width:
+        Total SOC TAM width for this run.
+    config:
+        Scheduler parameters (percent / delta / insertion slack / ...).
+    constraints:
+        Key of the constraint set in the context, or ``None`` for
+        unconstrained non-preemptive scheduling.
+    group:
+        Aggregation key: results sharing a group compete for "best of
+        group" (e.g. ``(soc, width, mode)`` for a Table 1 cell).
+    tags:
+        Extra ``(name, value)`` metadata carried through to result records
+        (e.g. the scheduler mode or preemption budget of the grid point).
+    """
+
+    index: int
+    soc: str
+    width: int
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    constraints: Optional[str] = None
+    group: Tuple[Any, ...] = ()
+    tags: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise EngineError(f"job index must be non-negative, got {self.index}")
+        if self.width <= 0:
+            raise EngineError(f"TAM width must be positive, got {self.width}")
+        object.__setattr__(self, "group", tuple(self.group))
+        object.__setattr__(
+            self, "tags", tuple((str(name), value) for name, value in self.tags)
+        )
+
+    def tag(self, name: str, default: Any = None) -> Any:
+        """Look up one tag value by name."""
+        for tag_name, value in self.tags:
+            if tag_name == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The outcome of executing one :class:`ScheduleJob`.
+
+    ``wall_time`` and ``worker`` describe *where and how long* the job ran
+    and are excluded from equality so that a serial and a parallel run of
+    the same grid compare equal record-for-record.
+    """
+
+    job: ScheduleJob
+    makespan: int
+    data_volume: int
+    schedule: TestSchedule
+    wall_time: float = field(default=0.0, compare=False)
+    worker: str = field(default="serial", compare=False)
+
+
+@dataclass(frozen=True)
+class EngineContext:
+    """Shared, read-only inputs of a sweep: SOCs and named constraint sets.
+
+    The context is shipped to every worker once (via the pool initializer)
+    and resolved per job; see the module docstring.
+    """
+
+    socs: Mapping[str, Soc]
+    constraints: Mapping[str, ConstraintSet] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "socs", dict(self.socs))
+        object.__setattr__(self, "constraints", dict(self.constraints))
+        if not self.socs:
+            raise EngineError("an engine context needs at least one SOC")
+
+    @classmethod
+    def for_soc(
+        cls, soc: Soc, constraints: Optional[Mapping[str, ConstraintSet]] = None
+    ) -> "EngineContext":
+        """A context holding a single SOC under its own name."""
+        return cls(socs={soc.name: soc}, constraints=constraints or {})
+
+    def resolve(self, job: ScheduleJob) -> Tuple[Soc, Optional[ConstraintSet]]:
+        """The SOC and constraint set a job refers to."""
+        try:
+            soc = self.socs[job.soc]
+        except KeyError:
+            raise EngineError(
+                f"job {job.index} references unknown SOC {job.soc!r}; "
+                f"known: {sorted(self.socs)}"
+            ) from None
+        if job.constraints is None:
+            return soc, None
+        try:
+            return soc, self.constraints[job.constraints]
+        except KeyError:
+            raise EngineError(
+                f"job {job.index} references unknown constraint set "
+                f"{job.constraints!r}; known: {sorted(self.constraints)}"
+            ) from None

@@ -1,0 +1,137 @@
+"""Job execution: serial loop or ``multiprocessing`` worker pool.
+
+The executor guarantees that for a fixed job list the *results are
+independent of the worker count*: jobs are pure functions of their inputs
+(the scheduler is deterministic), results are returned in job order, and all
+aggregation downstream tie-breaks on the job index.  ``workers <= 1`` runs a
+deterministic in-process loop; ``workers > 1`` fans the jobs out over a
+process pool whose initializer ships the :class:`EngineContext` once and
+warms each worker's Pareto-curve cache (the dominant per-schedule cost).
+
+If a pool cannot be created at all -- sandboxes without working semaphores,
+platforms without ``fork``/``spawn`` -- the engine silently degrades to the
+serial path rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.data_volume import tester_data_volume
+from repro.core.scheduler import schedule_soc
+from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
+from repro.engine.results import SweepResults
+from repro.wrapper.pareto import prime_pareto_cache
+
+# Context installed in each pool worker by the initializer (fork workers
+# inherit the parent's module state; spawn workers receive it via initargs).
+_WORKER_CONTEXT: Optional[EngineContext] = None
+
+
+def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
+    """Run one job to completion in the current process."""
+    soc, constraints = context.resolve(job)
+    started = time.perf_counter()
+    schedule = schedule_soc(soc, job.width, constraints=constraints, config=job.config)
+    wall_time = time.perf_counter() - started
+    return JobResult(
+        job=job,
+        makespan=schedule.makespan,
+        data_volume=tester_data_volume(schedule),
+        schedule=schedule,
+        wall_time=wall_time,
+        worker=multiprocessing.current_process().name,
+    )
+
+
+def prime_context_caches(context: EngineContext, max_widths: Iterable[int]) -> int:
+    """Warm the Pareto-curve cache for every SOC in the context."""
+    primed = 0
+    widths = sorted({int(width) for width in max_widths})
+    for soc in context.socs.values():
+        for max_width in widths:
+            primed += prime_pareto_cache(soc.cores, max_width)
+    return primed
+
+
+def _init_worker(context: EngineContext, max_widths: Sequence[int]) -> None:
+    """Pool initializer: install the shared context, warm the caches."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    prime_context_caches(context, max_widths)
+
+
+def _run_in_worker(job: ScheduleJob) -> JobResult:
+    assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    return execute_job(job, _WORKER_CONTEXT)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap start-up, inherits warm caches) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_serial(jobs: Sequence[ScheduleJob], context: EngineContext) -> SweepResults:
+    prime_context_caches(context, (job.config.max_core_width for job in jobs))
+    return SweepResults(tuple(execute_job(job, context) for job in jobs))
+
+
+def run_jobs(
+    jobs: Iterable[ScheduleJob],
+    context: EngineContext,
+    workers: int = 0,
+    chunksize: Optional[int] = None,
+) -> SweepResults:
+    """Execute a job list and collect the results, in job order.
+
+    Parameters
+    ----------
+    jobs:
+        The jobs to run.  Their ``index`` fields must be unique -- they are
+        the deterministic tie-break key for downstream aggregation.
+    context:
+        Shared SOCs and constraint sets the jobs reference.
+    workers:
+        ``0`` or ``1`` runs serially in-process; ``n > 1`` uses a pool of
+        ``min(n, len(jobs))`` worker processes.
+    chunksize:
+        Jobs handed to a worker per dispatch; defaults to roughly four
+        chunks per worker, which balances scheduling overhead against
+        stragglers on heterogeneous grids.
+    """
+    ordered: List[ScheduleJob] = list(jobs)
+    if workers < 0:
+        raise EngineError(f"workers must be non-negative, got {workers}")
+    if not ordered:
+        return SweepResults(())
+    indexes = [job.index for job in ordered]
+    if len(set(indexes)) != len(indexes):
+        raise EngineError("job indexes must be unique within one sweep")
+
+    effective = min(int(workers), len(ordered))
+    if effective <= 1:
+        return _run_serial(ordered, context)
+
+    max_widths = tuple({job.config.max_core_width for job in ordered})
+    if chunksize is None:
+        chunksize = max(1, len(ordered) // (effective * 4))
+    try:
+        pool = _pool_context().Pool(
+            processes=effective,
+            initializer=_init_worker,
+            initargs=(context, max_widths),
+        )
+    except (ImportError, OSError, PermissionError):
+        # No usable multiprocessing primitives (e.g. sandboxed /dev/shm):
+        # degrade to the deterministic serial path.  Only pool *creation*
+        # is guarded -- a job raising inside a worker is a real error and
+        # must propagate, not trigger a full serial re-run.
+        return _run_serial(ordered, context)
+    with pool:
+        results = pool.map(_run_in_worker, ordered, chunksize=chunksize)
+    return SweepResults(tuple(results))

@@ -80,6 +80,9 @@ class CoreScheduleSummary:
 class TestSchedule:
     """A complete SOC test schedule (the packed bin of Figure 2)."""
 
+    # Not a test case, despite the ``Test`` prefix.
+    __test__ = False
+
     soc_name: str
     total_width: int
     segments: Tuple[ScheduleSegment, ...] = field(default_factory=tuple)

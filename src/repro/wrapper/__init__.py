@@ -23,8 +23,10 @@ from repro.wrapper.design_wrapper import (
 from repro.wrapper.pareto import (
     ParetoPoint,
     highest_pareto_width,
+    pareto_cache_info,
     pareto_points,
     preferred_width,
+    prime_pareto_cache,
     testing_time_curve,
 )
 from repro.wrapper.report import (
@@ -48,6 +50,8 @@ __all__ = [
     "testing_time_curve",
     "highest_pareto_width",
     "preferred_width",
+    "prime_pareto_cache",
+    "pareto_cache_info",
     "CoreWrapperPlan",
     "WrapperChainPlan",
     "core_wrapper_plan",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.soc.core import Core
 from repro.wrapper.design_wrapper import testing_time
@@ -48,6 +48,31 @@ def testing_time_curve(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[i
     if max_width <= 0:
         raise ValueError("max_width must be positive")
     return list(_time_curve_cached(core, max_width))
+
+
+def prime_pareto_cache(cores: Iterable[Core], max_width: int = DEFAULT_MAX_WIDTH) -> int:
+    """Warm this process's testing-time curve cache for the given cores.
+
+    Computing a core's wrapper-design staircase is the scheduler's dominant
+    cost; the curves are memoised per process in :func:`_time_curve_cached`.
+    Sweep-engine workers call this once at start-up (and the serial path
+    calls it before its loop) so every subsequent schedule of the same SOC
+    hits a warm cache.  Returns the number of curves now cached.
+
+    Accepts any iterable of cores; pass ``soc.cores`` to prime a whole SOC.
+    """
+    if max_width <= 0:
+        raise ValueError("max_width must be positive")
+    count = 0
+    for core in cores:
+        _time_curve_cached(core, max_width)
+        count += 1
+    return count
+
+
+def pareto_cache_info():
+    """Cache statistics of the per-process testing-time curve memo."""
+    return _time_curve_cached.cache_info()
 
 
 def pareto_points(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[ParetoPoint]:

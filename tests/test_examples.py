@@ -16,6 +16,7 @@ EXAMPLES = [
     ("data_volume_tradeoff.py", ["Effective TAM widths", "T_min", "D_min"]),
     ("custom_soc_from_file.py", ["stb_demo", "testing time", "lower bound"]),
     ("multisite_testing.py", ["sites", "batch", "Fastest batch"]),
+    ("parallel_sweep.py", ["sweep engine", "workers", "identical"]),
 ]
 
 
