@@ -1,0 +1,100 @@
+"""Experiment E10 -- solver matrix: every registered solver on one session.
+
+Runs every solver in the registry over {d695, p93791} x TAM widths
+{16, 32, 64} through ``Session.solve(ScheduleRequest(...))``, twice on the
+same session, and reports the per-cell makespans plus the wall-clock cost
+of each full pass.  The second pass must be measurably cheaper: the
+session's shared Pareto rectangle cache (and the per-process testing-time
+curve memo underneath it) eliminates all wrapper-design work, which is the
+dominant per-solve cost.
+
+Solvers that refuse an instance (the exhaustive packer on SOCs with more
+than 6 cores) are reported as ``n/a`` -- refusal is part of their contract.
+
+Run explicitly:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_solver_matrix.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+from repro.soc.benchmarks import get_benchmark
+from repro.solvers import ScheduleRequest, Session
+from repro.wrapper.pareto import clear_pareto_cache
+
+SOCS = ("d695", "p93791")
+WIDTHS = (16, 32, 64)
+
+# Trim the "best" solver's 63-point default grid so a matrix pass stays
+# cheap; 4 points are enough to exercise its grid plumbing.
+SOLVER_OPTIONS = {"best": {"percents": (1, 25), "deltas": (0,), "slacks": (3, 6)}}
+
+
+def _run_pass(session, socs):
+    """One full solver x SOC x width pass; returns (cells, elapsed seconds)."""
+    cells = {}
+    started = time.perf_counter()
+    for soc_name, soc in socs.items():
+        for solver in session.solvers():
+            options = SOLVER_OPTIONS.get(solver, {})
+            for width in WIDTHS:
+                try:
+                    result = session.solve(
+                        ScheduleRequest(
+                            soc=soc, total_width=width, solver=solver, options=options
+                        )
+                    )
+                    cells[(soc_name, solver, width)] = result.makespan
+                except ValueError:
+                    cells[(soc_name, solver, width)] = None  # refused the instance
+    return cells, time.perf_counter() - started
+
+
+def test_solver_matrix_and_pareto_cache_reuse(results_dir):
+    # Cold start: drop the process-wide curve memo so the first pass pays
+    # the full wrapper-design cost the cache is meant to amortise.
+    clear_pareto_cache()
+    session = Session()
+    socs = {name: get_benchmark(name) for name in SOCS}
+
+    first_cells, first_time = _run_pass(session, socs)
+    second_cells, second_time = _run_pass(session, socs)
+
+    # Determinism: the warm pass reproduces every cell exactly.
+    assert second_cells == first_cells
+
+    info = session.cache_info()
+    assert info.hits > 0, "the second pass must hit the shared rectangle cache"
+    # The Pareto cache makes the second full pass measurably cheaper: all
+    # wrapper-design work (the dominant per-solve cost) is amortised away.
+    # The margin is large (~8x locally), but shared CI runners can hiccup,
+    # so one slow warm pass gets a single re-measure before failing.
+    if second_time >= first_time:
+        retry_cells, second_time = _run_pass(session, socs)
+        assert retry_cells == first_cells
+    assert second_time < first_time, (
+        f"warm pass ({second_time:.3f}s) should beat cold pass ({first_time:.3f}s)"
+    )
+
+    lines = [
+        f"{'soc':<8} {'solver':<12} " + " ".join(f"W={w:<8}" for w in WIDTHS),
+    ]
+    for soc_name in SOCS:
+        for solver in session.solvers():
+            row = " ".join(
+                f"{first_cells[(soc_name, solver, width)] or 'n/a':<10}"
+                for width in WIDTHS
+            )
+            lines.append(f"{soc_name:<8} {solver:<12} {row}")
+    lines += [
+        "",
+        f"cold pass (empty caches) : {first_time:.3f} s",
+        f"warm pass (shared cache) : {second_time:.3f} s",
+        f"speedup                  : {first_time / max(second_time, 1e-9):.1f}x",
+        f"rectangle cache          : {info.hits} hits, {info.misses} misses, "
+        f"{info.entries} entries",
+    ]
+    write_result(results_dir, "solver_matrix.txt", "\n".join(lines))

@@ -14,7 +14,7 @@ Run with:  python examples/custom_soc_from_file.py
 import tempfile
 from pathlib import Path
 
-from repro import best_schedule, load_soc, lower_bound, render_gantt
+from repro import ScheduleRequest, Session, load_soc, lower_bound, render_gantt
 
 SOC_DESCRIPTION = """\
 # A small set-top-box SOC
@@ -49,14 +49,17 @@ def main() -> None:
         print()
 
         width = 24
-        schedule = best_schedule(
-            soc,
-            width,
-            constraints=constraints,
-            percents=(1, 5, 10, 25, 50),
-            deltas=(0, 2),
-            slacks=(0, 3),
-        )
+        schedule = Session().solve(
+            ScheduleRequest(
+                soc=soc,
+                total_width=width,
+                solver="best",
+                constraints=constraints,
+                options=dict(
+                    percents=(1, 5, 10, 25, 50), deltas=(0, 2), slacks=(0, 3)
+                ),
+            )
+        ).schedule
         schedule.validate(soc, constraints)
 
         print(render_gantt(schedule))

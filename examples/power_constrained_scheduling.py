@@ -15,7 +15,17 @@ times, demonstrating how each constraint shapes the schedule.
 Run with:  python examples/power_constrained_scheduling.py
 """
 
-from repro import ConstraintSet, Core, Soc, best_schedule, lower_bound, render_gantt
+from repro import (
+    ConstraintSet,
+    Core,
+    ScheduleRequest,
+    Session,
+    Soc,
+    lower_bound,
+    render_gantt,
+)
+
+SESSION = Session()  # one Pareto cache shared by every solve below
 
 
 def build_soc() -> Soc:
@@ -39,7 +49,13 @@ def build_soc() -> Soc:
 
 
 def schedule_and_report(soc, width, constraints, label, grid):
-    schedule = best_schedule(soc, width, constraints=constraints, **grid)
+    result = SESSION.solve(
+        ScheduleRequest(
+            soc=soc, total_width=width, solver="best",
+            constraints=constraints, options=grid,
+        )
+    )
+    schedule = result.schedule
     if constraints is not None:
         schedule.validate(soc, constraints)
     else:

@@ -10,11 +10,10 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import (
+    ScheduleRequest,
+    Session,
     d695,
-    lower_bound,
     render_gantt,
-    schedule_soc,
-    tester_data_volume,
 )
 
 
@@ -25,18 +24,24 @@ def main() -> None:
     print(soc.summary())
     print()
 
-    schedule = schedule_soc(soc, total_width)
+    # One session, one front door: the paper scheduler and the lower bound
+    # are both registry solvers sharing the session's Pareto cache.
+    session = Session()
+    result = session.solve(ScheduleRequest(soc=soc, total_width=total_width))
+    schedule = result.schedule
     schedule.validate(soc)
 
     print(render_gantt(schedule))
     print()
 
-    bound = lower_bound(soc, total_width)
+    bound = session.solve(
+        ScheduleRequest(soc=soc, total_width=total_width, solver="lower-bound")
+    ).makespan
     print(f"lower bound on testing time : {bound} cycles")
-    print(f"achieved testing time       : {schedule.makespan} cycles "
-          f"({schedule.makespan / bound:.1%} of the bound)")
+    print(f"achieved testing time       : {result.makespan} cycles "
+          f"({result.makespan / bound:.1%} of the bound)")
     print(f"TAM utilisation             : {schedule.tam_utilization:.1%}")
-    print(f"tester data volume          : {tester_data_volume(schedule)} bits")
+    print(f"tester data volume          : {result.data_volume} bits")
     print()
     print("Per-core assignment (width / begin / end):")
     for summary in schedule.summaries():

@@ -9,10 +9,18 @@ A faithful, self-contained Python reproduction of
 
 Quick start
 -----------
->>> from repro import d695, schedule_soc, lower_bound
+Every scheduling algorithm -- the paper scheduler, the baselines, the
+lower bound -- is a *solver* behind one ``solve(ScheduleRequest)`` API:
+
+>>> from repro import ScheduleRequest, Session, d695, lower_bound
+>>> session = Session()                       # shares Pareto curves across solves
 >>> soc = d695()
->>> schedule = schedule_soc(soc, total_width=32)
->>> schedule.makespan >= lower_bound(soc, 32)
+>>> result = session.solve(ScheduleRequest(soc=soc, total_width=32))
+>>> result.makespan >= lower_bound(soc, 32)
+True
+>>> shelf = session.solve(
+...     ScheduleRequest(soc=soc, total_width=32, solver="shelf"))
+>>> result.makespan <= shelf.makespan
 True
 
 The public API re-exported here covers the full framework:
@@ -21,18 +29,22 @@ The public API re-exported here covers the full framework:
   benchmark SOCs (``d695``, ``p22810``, ``p34392``, ``p93791``) and the
   ITC'02-style file format.
 * Wrapper design: ``design_wrapper``, ``testing_time``, ``pareto_points``.
-* Scheduling: ``schedule_soc``, ``best_schedule``, ``SchedulerConfig``,
-  ``TestSchedule``, ``render_gantt`` and the ``lower_bound``.
+* Solver API: ``Session``, ``ScheduleRequest``, ``ScheduleResult``,
+  ``SolverRegistry``, ``register_solver``, ``SolverCapabilities`` -- the
+  registry front door every scheduler, baseline and sweep goes through
+  (``repro solvers`` lists the registered solvers).
+* Scheduling: ``SchedulerConfig``, ``TestSchedule``, ``render_gantt`` and
+  the ``lower_bound`` (plus the deprecated free functions
+  ``schedule_soc``/``best_schedule`` and baseline shims, kept for
+  backward compatibility).
 * Tester data volume: ``sweep_tam_widths``, ``tester_data_volume``,
   ``effective_width``.
-* Baselines: ``fixed_width_schedule``, ``shelf_schedule``,
-  ``exhaustive_schedule``.
 * Experiments: ``run_table1``, ``run_table2``, ``figure1_staircase``,
   ``figure9_curves``.
 * Sweep engine: ``ParameterGrid``, ``ScheduleJob``, ``run_jobs``,
   ``best_schedule_grid``, ``parallel_tam_sweep`` -- declarative parameter
   grids executed serially or across a ``multiprocessing`` worker pool with
-  bit-identical results.
+  bit-identical results, every job solved through the solver session.
 """
 
 from repro.soc import (
@@ -91,6 +103,20 @@ from repro.baselines import (
     exhaustive_schedule,
     fixed_width_schedule,
     shelf_schedule,
+)
+from repro.solvers import (
+    BaseSolver,
+    ScheduleRequest,
+    ScheduleResult,
+    Session,
+    Solver,
+    SolverCapabilities,
+    SolverError,
+    SolverRegistry,
+    default_registry,
+    get_default_session,
+    register_solver,
+    solve,
 )
 from repro.engine import (
     EngineContext,
@@ -172,6 +198,19 @@ __all__ = [
     "fixed_width_schedule",
     "shelf_schedule",
     "exhaustive_schedule",
+    # solver API
+    "Session",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "Solver",
+    "BaseSolver",
+    "SolverCapabilities",
+    "SolverError",
+    "SolverRegistry",
+    "default_registry",
+    "register_solver",
+    "get_default_session",
+    "solve",
     # engine
     "ParameterGrid",
     "ScheduleJob",

@@ -162,15 +162,24 @@ def multisite_curve(
     constraints: Optional[ConstraintSet] = None,
     config: Optional[SchedulerConfig] = None,
     workers: int = 0,
+    solver: str = "paper",
 ) -> List[MultisitePoint]:
     """Schedule the SOC over ``widths`` and evaluate each width's batch time.
 
-    The scheduling sweep (the expensive part) runs on the sweep engine;
-    ``workers > 1`` fans the per-width schedules out over a process pool
-    with results identical to the serial path.
+    The scheduling sweep (the expensive part) runs on the sweep engine, each
+    width solved through the solver session's ``solve(ScheduleRequest)``
+    front door; ``workers > 1`` fans the per-width schedules out over a
+    process pool with results identical to the serial path.  ``solver`` may
+    name any registered schedule-producing solver (see :mod:`repro.solvers`)
+    to study multisite throughput under a baseline architecture.
     """
     sweep = parallel_tam_sweep(
-        soc, widths, constraints=constraints, config=config, workers=workers
+        soc,
+        widths,
+        constraints=constraints,
+        config=config,
+        workers=workers,
+        solver=solver,
     )
     return evaluate_multisite(sweep, tester, batch_size)
 

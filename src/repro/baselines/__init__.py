@@ -11,13 +11,20 @@
   SOCs, used by the test suite to sanity-check the heuristic scheduler.
 """
 
-from repro.baselines.fixed_width import FixedWidthResult, fixed_width_schedule
-from repro.baselines.shelf import shelf_schedule
-from repro.baselines.exact import exhaustive_schedule
+from repro.baselines.fixed_width import (
+    FixedWidthResult,
+    fixed_width_schedule,
+    run_fixed_width,
+)
+from repro.baselines.shelf import run_shelf, shelf_schedule
+from repro.baselines.exact import exhaustive_schedule, run_exhaustive
 
 __all__ = [
     "FixedWidthResult",
     "fixed_width_schedule",
+    "run_fixed_width",
     "shelf_schedule",
+    "run_shelf",
     "exhaustive_schedule",
+    "run_exhaustive",
 ]

@@ -15,10 +15,11 @@ more than ``max_cores`` cores.
 
 from __future__ import annotations
 
+import warnings
 from itertools import permutations, product
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.rectangles import build_rectangle_sets
+from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.core.scheduler import SchedulerConfig
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
 from repro.soc.constraints import ConstraintSet
@@ -51,18 +52,22 @@ def _earliest_start(
     raise AssertionError("a start time always exists after the last placed rectangle")
 
 
-def exhaustive_schedule(
+def run_exhaustive(
     soc: Soc,
     total_width: int,
     constraints: Optional[ConstraintSet] = None,
     config: Optional[SchedulerConfig] = None,
     max_cores: int = 6,
     max_widths_per_core: int = 8,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
 ) -> TestSchedule:
     """Best left-justified permutation schedule over all Pareto width choices.
 
-    Only non-preemptive, unconstrained scheduling is supported (Problem 1);
-    passing a non-trivial ``constraints`` raises ``ValueError``.
+    The implementation behind the ``"exhaustive"`` solver of the registry
+    (:mod:`repro.solvers`).  Only non-preemptive, unconstrained scheduling is
+    supported (Problem 1); passing a non-trivial ``constraints`` raises
+    ``ValueError``.  ``rectangle_sets`` may supply pre-built Pareto sets
+    (built with ``max_width == min(config.max_core_width, total_width)``).
     """
     if constraints is not None and (
         constraints.precedence or constraints.concurrency or constraints.power_max
@@ -73,7 +78,9 @@ def exhaustive_schedule(
             f"exhaustive search limited to {max_cores} cores, SOC has {len(soc.cores)}"
         )
     config = config or SchedulerConfig()
-    sets = build_rectangle_sets(soc, max_width=min(config.max_core_width, total_width))
+    sets = resolve_rectangle_sets(
+        soc, min(config.max_core_width, total_width), rectangle_sets
+    )
 
     names = [core.name for core in soc.cores]
     choices: Dict[str, List[Tuple[int, int]]] = {}
@@ -107,4 +114,34 @@ def exhaustive_schedule(
     assert best_segments is not None
     return TestSchedule(
         soc_name=soc.name, total_width=total_width, segments=tuple(best_segments)
+    )
+
+
+def exhaustive_schedule(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+    max_cores: int = 6,
+    max_widths_per_core: int = 8,
+) -> TestSchedule:
+    """Deprecated alias of :func:`run_exhaustive`.
+
+    Prefer ``Session().solve(ScheduleRequest(..., solver="exhaustive"))``
+    from :mod:`repro.solvers`.  Signature and results are unchanged.
+    """
+    warnings.warn(
+        "exhaustive_schedule is deprecated; use "
+        'Session.solve(ScheduleRequest(..., solver="exhaustive")) '
+        "(see repro.solvers) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_exhaustive(
+        soc,
+        total_width,
+        constraints=constraints,
+        config=config,
+        max_cores=max_cores,
+        max_widths_per_core=max_widths_per_core,
     )

@@ -17,10 +17,11 @@ comparing the resulting makespan against :func:`repro.core.scheduler.schedule_so
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.rectangles import build_rectangle_sets
+from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.core.scheduler import SchedulerConfig
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
 from repro.soc.constraints import ConstraintSet
@@ -74,27 +75,24 @@ def _assign_cores(
     return assignment, loads
 
 
-def fixed_width_schedule(
+def run_fixed_width(
     soc: Soc,
     total_width: int,
-    constraints: Optional[ConstraintSet] = None,
-    config: Optional[SchedulerConfig] = None,
     max_buses: int = 3,
     max_core_width: int = DEFAULT_MAX_WIDTH,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
 ) -> FixedWidthResult:
     """Best fixed-width TAM architecture with at most ``max_buses`` buses.
 
-    ``constraints`` and ``config`` are accepted for signature compatibility
-    with :func:`repro.core.scheduler.schedule_soc` (so the baseline can be
-    dropped into :func:`repro.core.data_volume.sweep_tam_widths`); precedence
-    and concurrency constraints are trivially satisfied because cores on one
-    bus run sequentially, but power constraints are not modelled by this
-    baseline.
+    The implementation behind the ``"fixed-width"`` solver of the registry
+    (:mod:`repro.solvers`).  Precedence and concurrency constraints are
+    trivially satisfied because cores on one bus run sequentially, but power
+    constraints are not modelled by this baseline.  ``rectangle_sets`` may
+    supply pre-built Pareto sets (built with ``max_width == max_core_width``).
     """
-    del constraints, config  # intentionally unused; see docstring
     if total_width <= 0:
         raise ValueError("total TAM width must be positive")
-    sets = build_rectangle_sets(soc, max_width=max_core_width)
+    sets = resolve_rectangle_sets(soc, max_core_width, rectangle_sets)
     cap = min(total_width, max_core_width)
     # Precompute each core's testing time at every candidate bus width.
     candidate_widths = sorted({w for b in range(1, max_buses + 1) for w in range(1, cap + 1)})
@@ -135,3 +133,31 @@ def fixed_width_schedule(
             )
     assert best is not None
     return best
+
+
+def fixed_width_schedule(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+    max_buses: int = 3,
+    max_core_width: int = DEFAULT_MAX_WIDTH,
+) -> FixedWidthResult:
+    """Deprecated alias of :func:`run_fixed_width`.
+
+    Prefer ``Session().solve(ScheduleRequest(..., solver="fixed-width"))``
+    from :mod:`repro.solvers`.  ``constraints`` and ``config`` are accepted
+    for signature compatibility with the old ``schedule_soc`` shape and
+    ignored, exactly as before; signature and results are unchanged.
+    """
+    del constraints, config  # intentionally unused; see docstring
+    warnings.warn(
+        "fixed_width_schedule is deprecated; use "
+        'Session.solve(ScheduleRequest(..., solver="fixed-width")) '
+        "(see repro.solvers) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_fixed_width(
+        soc, total_width, max_buses=max_buses, max_core_width=max_core_width
+    )

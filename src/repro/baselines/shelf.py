@@ -20,10 +20,11 @@ unequal lengths.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.core.rectangles import build_rectangle_sets
+from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.core.scheduler import SchedulerConfig
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
 from repro.soc.constraints import ConstraintSet
@@ -42,23 +43,24 @@ class _Shelf:
             self.segments = []
 
 
-def shelf_schedule(
+def run_shelf(
     soc: Soc,
     total_width: int,
-    constraints: Optional[ConstraintSet] = None,
     config: Optional[SchedulerConfig] = None,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
 ) -> TestSchedule:
     """Pack the SOC with next-fit-decreasing shelf packing.
 
-    ``constraints`` are ignored (the baseline predates constraint-driven
-    scheduling); ``config`` supplies the preferred-width parameters so the
-    comparison against the flexible packer is apples-to-apples.
+    The implementation behind the ``"shelf"`` solver of the registry
+    (:mod:`repro.solvers`).  ``config`` supplies the preferred-width
+    parameters so the comparison against the flexible packer is
+    apples-to-apples; ``rectangle_sets`` may supply pre-built Pareto sets
+    (built with ``max_width == config.max_core_width``).
     """
-    del constraints  # the classic baseline is unconstrained
     if total_width <= 0:
         raise ValueError("total TAM width must be positive")
     config = config or SchedulerConfig()
-    sets = build_rectangle_sets(soc, max_width=config.max_core_width)
+    sets = resolve_rectangle_sets(soc, config.max_core_width, rectangle_sets)
     width_cap = min(config.max_core_width, total_width)
 
     rectangles = []
@@ -89,3 +91,27 @@ def shelf_schedule(
     return TestSchedule(
         soc_name=soc.name, total_width=total_width, segments=tuple(segments)
     )
+
+
+def shelf_schedule(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> TestSchedule:
+    """Deprecated alias of :func:`run_shelf`.
+
+    Prefer ``Session().solve(ScheduleRequest(..., solver="shelf"))`` from
+    :mod:`repro.solvers`.  ``constraints`` are ignored (the baseline predates
+    constraint-driven scheduling), exactly as before; signature and results
+    are unchanged.
+    """
+    del constraints  # the classic baseline is unconstrained
+    warnings.warn(
+        "shelf_schedule is deprecated; use "
+        'Session.solve(ScheduleRequest(..., solver="shelf")) '
+        "(see repro.solvers) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_shelf(soc, total_width, config=config)

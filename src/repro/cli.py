@@ -4,11 +4,18 @@ Subcommands
 -----------
 ``benchmarks``
     List the built-in benchmark SOCs and their headline statistics.
+``solvers``
+    List every registered solver with its capability metadata.
+``solve``
+    Solve one SOC at one TAM width with any registered solver (the
+    ``solve(ScheduleRequest)`` front door of :mod:`repro.solvers`);
+    ``--json`` prints the full result as JSON.
 ``pareto``
     Print the testing-time staircase and Pareto-optimal widths of one core
     (Figure 1 of the paper).
 ``schedule``
-    Schedule one SOC at one TAM width and print the resulting Gantt chart.
+    Schedule one SOC at one TAM width and print the resulting Gantt chart;
+    ``--solver`` picks any schedule-producing registry solver.
 ``table1``
     Regenerate Table 1 (lower bound / non-preemptive / preemptive /
     power-constrained testing times).
@@ -39,11 +46,17 @@ from repro.analysis.reporting import (
     table2_to_text,
 )
 from repro.core.lower_bounds import lower_bound
-from repro.core.scheduler import SchedulerConfig, schedule_soc
+from repro.core.scheduler import SchedulerConfig
 from repro.engine.api import parallel_tam_sweep
 from repro.schedule.gantt import render_gantt
 from repro.soc.benchmarks import get_benchmark, list_benchmarks
 from repro.soc.itc02 import load_soc
+from repro.solvers import (
+    ScheduleRequest,
+    SolverError,
+    default_registry,
+    get_default_session,
+)
 
 
 def _load(args: argparse.Namespace):
@@ -68,6 +81,14 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
     return value
+
+
+def _add_solver_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--solver",
+        default="paper",
+        help="registry solver to run (see 'repro solvers'; default: paper)",
+    )
 
 
 def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
@@ -100,14 +121,72 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
+def _solve_request(args: argparse.Namespace) -> "ScheduleRequest":
+    """Build the ScheduleRequest described by the command-line arguments."""
     soc, constraints = _load(args)
     config = SchedulerConfig(percent=args.percent, delta=args.delta)
-    schedule = schedule_soc(soc, args.width, constraints=constraints, config=config)
-    print(render_gantt(schedule))
+    options = {}
+    if getattr(args, "options", None):
+        try:
+            options = json.loads(args.options)
+        except json.JSONDecodeError as error:
+            raise SolverError(f"--options is not valid JSON: {error}") from error
+        if not isinstance(options, dict):
+            raise SolverError("--options must be a JSON object")
+    return ScheduleRequest(
+        soc=soc,
+        total_width=args.width,
+        solver=args.solver,
+        config=config,
+        constraints=constraints,
+        options=options,
+    )
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    try:
+        request = _solve_request(args)
+        result = get_default_session().solve(request)
+    except SolverError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if result.schedule is None:
+        print(
+            f"error: solver {args.solver!r} produces no schedule; "
+            "use 'repro solve' to query it",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_gantt(result.schedule))
     print()
-    print(f"lower bound : {lower_bound(soc, args.width)} cycles")
-    print(f"testing time: {schedule.makespan} cycles")
+    print(f"lower bound : {lower_bound(request.soc, args.width)} cycles")
+    print(f"testing time: {result.makespan} cycles")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    try:
+        result = get_default_session().solve(_solve_request(args))
+    except SolverError as error:  # includes solver refusals, normalised by Session
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(f"solver      : {result.solver}")
+    print(f"soc         : {result.soc_name} (TAM width {result.total_width})")
+    if result.is_bound:
+        print(f"lower bound : {result.makespan} cycles")
+    else:
+        print(f"makespan    : {result.makespan} cycles")
+    print(f"data volume : {result.data_volume} bits")
+    for name, value in sorted(result.metadata.items()):
+        print(f"{name:<12}: {value}")
+    return 0
+
+
+def _cmd_solvers(_: argparse.Namespace) -> int:
+    print(default_registry().describe())
     return 0
 
 
@@ -205,6 +284,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("benchmarks", help="list built-in benchmark SOCs")
     p_bench.set_defaults(func=_cmd_benchmarks)
 
+    p_solvers = sub.add_parser(
+        "solvers", help="list registered solvers and their capabilities"
+    )
+    p_solvers.set_defaults(func=_cmd_solvers)
+
+    p_solve = sub.add_parser(
+        "solve", help="solve one SOC at one TAM width with any registered solver"
+    )
+    _add_soc_argument(p_solve)
+    p_solve.add_argument("width", type=int, help="total SOC TAM width")
+    _add_solver_argument(p_solve)
+    p_solve.add_argument("--percent", type=float, default=5.0)
+    p_solve.add_argument("--delta", type=int, default=0)
+    p_solve.add_argument(
+        "--options",
+        help="solver-specific options as a JSON object, "
+        "e.g. '{\"max_buses\": 2}' for fixed-width",
+    )
+    p_solve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ScheduleResult as JSON instead of a summary",
+    )
+    p_solve.set_defaults(func=_cmd_solve)
+
     p_pareto = sub.add_parser("pareto", help="testing-time staircase for one core")
     _add_soc_argument(p_pareto)
     p_pareto.add_argument("core", help="core name, e.g. 'Core 6' or 's38417'")
@@ -214,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched = sub.add_parser("schedule", help="schedule an SOC at one TAM width")
     _add_soc_argument(p_sched)
     p_sched.add_argument("width", type=int, help="total SOC TAM width")
+    _add_solver_argument(p_sched)
     p_sched.add_argument("--percent", type=float, default=5.0)
     p_sched.add_argument("--delta", type=int, default=0)
     p_sched.set_defaults(func=_cmd_schedule)

@@ -19,6 +19,8 @@ from repro.core.scheduler import (
     SchedulerError,
     schedule_soc,
     best_schedule,
+    run_paper_scheduler,
+    run_best_schedule,
 )
 from repro.core.lower_bounds import lower_bound, area_lower_bound, bottleneck_lower_bound
 from repro.core.data_volume import (
@@ -38,6 +40,8 @@ __all__ = [
     "SchedulerError",
     "schedule_soc",
     "best_schedule",
+    "run_paper_scheduler",
+    "run_best_schedule",
     "lower_bound",
     "area_lower_bound",
     "bottleneck_lower_bound",

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.scheduler import SchedulerConfig, schedule_soc
+from repro.core.scheduler import SchedulerConfig
 from repro.schedule.schedule import TestSchedule
 from repro.soc.constraints import ConstraintSet
 from repro.soc.soc import Soc
@@ -189,9 +189,11 @@ def sweep_tam_widths(
 ) -> TamSweep:
     """Schedule the SOC at every width in ``widths`` and collect T and D.
 
-    ``scheduler`` may be used to swap in a different scheduling function
-    (e.g. a baseline); it must accept the same signature as
-    :func:`repro.core.scheduler.schedule_soc`.
+    By default each width is solved with the paper scheduler through the
+    process-wide solver session (:mod:`repro.solvers`), so repeated sweeps
+    share Pareto rectangle sets.  ``scheduler`` may be used to swap in a
+    different scheduling function (e.g. a baseline); it must accept the same
+    signature as :func:`repro.core.scheduler.run_paper_scheduler`.
 
     With ``monotone=True`` (the default) the testing-time curve is clamped to
     its running minimum over increasing widths: an SOC given ``W`` TAM wires
@@ -201,11 +203,28 @@ def sweep_tam_widths(
     see the raw heuristic output.
     """
     ordered = normalize_sweep_widths(widths, monotone)
-    run = scheduler or schedule_soc
-    makespans = [
-        run(soc, width, constraints=constraints, config=config).makespan
-        for width in ordered
-    ]
+    if scheduler is None:
+        # Imported here: repro.solvers depends on this module's types.
+        from repro.solvers.request import ScheduleRequest
+        from repro.solvers.session import get_default_session
+
+        session = get_default_session()
+        makespans = [
+            session.solve(
+                ScheduleRequest(
+                    soc=soc,
+                    total_width=width,
+                    config=config or SchedulerConfig(),
+                    constraints=constraints,
+                )
+            ).makespan
+            for width in ordered
+        ]
+    else:
+        makespans = [
+            scheduler(soc, width, constraints=constraints, config=config).makespan
+            for width in ordered
+        ]
     return build_tam_sweep(soc.name, ordered, makespans, monotone)
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
-from repro.core.rectangles import RectangleSet, build_rectangle_sets
+from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import DEFAULT_MAX_WIDTH
 
@@ -27,9 +27,7 @@ def _rectangles(
     max_core_width: int,
     rectangle_sets: Optional[Dict[str, RectangleSet]],
 ) -> Dict[str, RectangleSet]:
-    if rectangle_sets is not None:
-        return rectangle_sets
-    return build_rectangle_sets(soc, max_width=max_core_width)
+    return resolve_rectangle_sets(soc, max_core_width, rectangle_sets)
 
 
 def area_lower_bound(

@@ -11,7 +11,7 @@ bin of height ``W`` (the total SOC TAM width) minimizing the filled width
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.soc.core import Core
 from repro.soc.soc import Soc
@@ -138,3 +138,27 @@ def build_rectangle_sets(
 ) -> Dict[str, RectangleSet]:
     """Build the collection ``R`` of Pareto-optimal rectangle sets for an SOC."""
     return {core.name: RectangleSet(core, max_width=max_width) for core in soc.cores}
+
+
+def resolve_rectangle_sets(
+    soc: Soc,
+    max_width: int,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
+) -> Dict[str, RectangleSet]:
+    """Return ``rectangle_sets`` if supplied (and consistent), else build them.
+
+    The shared "accept a caller's pre-built Pareto sets" entry used by the
+    scheduler, the baselines and the lower bounds: supplied sets must have
+    been built with the same ``max_width`` the caller would use, which is
+    checked here so a solver cache bug fails loudly instead of silently
+    changing results.
+    """
+    if rectangle_sets is None:
+        return build_rectangle_sets(soc, max_width=max_width)
+    for name, rect in rectangle_sets.items():
+        if rect.max_width != max_width:
+            raise ValueError(
+                f"rectangle set for core {name!r} was built with "
+                f"max_width={rect.max_width}, caller needs {max_width}"
+            )
+    return rectangle_sets

@@ -46,10 +46,12 @@ literal pseudocode ordering.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.rectangles import RectangleSet, build_rectangle_sets
+from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
 from repro.soc.constraints import ConstraintSet
 from repro.soc.soc import Soc
@@ -109,6 +111,22 @@ class SchedulerConfig:
         if self.insertion_slack < 0:
             raise ValueError("insertion_slack must be non-negative")
 
+    # ------------------------------------------------------------------
+    # Serialization (the payload of a :class:`repro.solvers.ScheduleRequest`)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat, JSON-serializable dict of all configuration fields."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys raise)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SchedulerConfig fields: {unknown}")
+        return cls(**dict(data))
+
 
 @dataclass
 class _CoreState:
@@ -164,6 +182,7 @@ class _Scheduler:
         total_width: int,
         constraints: ConstraintSet,
         config: SchedulerConfig,
+        rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
     ) -> None:
         if total_width <= 0:
             raise SchedulerError("total TAM width must be positive")
@@ -173,7 +192,9 @@ class _Scheduler:
         self.config = config
         self.current_time = 0
         width_cap = min(config.max_core_width, total_width)
-        self.rectangle_sets = build_rectangle_sets(soc, max_width=config.max_core_width)
+        self.rectangle_sets = resolve_rectangle_sets(
+            soc, config.max_core_width, rectangle_sets
+        )
         self.states: Dict[str, _CoreState] = {}
         for core in soc.cores:
             rect = self.rectangle_sets[core.name]
@@ -462,17 +483,19 @@ class _Scheduler:
         )
 
 
-def schedule_soc(
+def run_paper_scheduler(
     soc: Soc,
     total_width: int,
     constraints: Optional[ConstraintSet] = None,
     config: Optional[SchedulerConfig] = None,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
 ) -> TestSchedule:
     """Schedule all core tests of ``soc`` on a TAM of ``total_width`` wires.
 
-    This is the library's main entry point: it performs wrapper/TAM
-    co-optimization (via the Pareto rectangle sets) and constraint-driven,
-    selectively preemptive test scheduling in one pass, returning a
+    The implementation behind the ``"paper"`` solver of the registry
+    (:mod:`repro.solvers`): wrapper/TAM co-optimization (via the Pareto
+    rectangle sets) and constraint-driven, selectively preemptive test
+    scheduling in one pass, returning a
     :class:`~repro.schedule.schedule.TestSchedule`.
 
     Parameters
@@ -486,12 +509,80 @@ def schedule_soc(
         unconstrained, non-preemptive scheduling (the paper's Problem 1).
     config:
         Heuristic parameters; see :class:`SchedulerConfig`.
+    rectangle_sets:
+        Optional pre-built Pareto rectangle sets (must have been built with
+        ``max_width == config.max_core_width``).  A solver
+        :class:`~repro.solvers.Session` passes its shared cache here so
+        repeated solves stop recomputing wrapper designs.
     """
     constraints = constraints or ConstraintSet.unconstrained()
     config = config or SchedulerConfig()
     constraints.validate_for(soc)
-    scheduler = _Scheduler(soc, total_width, constraints, config)
+    scheduler = _Scheduler(soc, total_width, constraints, config, rectangle_sets)
     return scheduler.run()
+
+
+def run_best_schedule(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    percents: Sequence[float] = (1, 5, 10, 25, 40, 60, 75),
+    deltas: Sequence[int] = (0, 2, 4),
+    slacks: Sequence[int] = (0, 3, 6),
+    config: Optional[SchedulerConfig] = None,
+    rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
+) -> TestSchedule:
+    """Run the scheduler over a (``percent``, ``delta``, ``slack``) grid, keep the best.
+
+    The implementation behind the ``"best"`` solver of the registry.  The
+    paper tabulates the best result over all integer ``1 <= q <= 10`` and
+    ``0 <= delta <= 4`` (with the idle-insertion slack fixed at 3); this
+    helper reproduces that experimental protocol with a configurable grid.
+    The default grid is slightly wider than the paper's because the synthetic
+    Philips stand-ins reward smaller preferred widths at narrow TAMs.
+    """
+    base = config or SchedulerConfig()
+    best: Optional[TestSchedule] = None
+    for percent in percents:
+        for delta in deltas:
+            for slack in slacks:
+                candidate = run_paper_scheduler(
+                    soc,
+                    total_width,
+                    constraints=constraints,
+                    config=replace(
+                        base, percent=percent, delta=delta, insertion_slack=slack
+                    ),
+                    rectangle_sets=rectangle_sets,
+                )
+                if best is None or candidate.makespan < best.makespan:
+                    best = candidate
+    assert best is not None
+    return best
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.solvers) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def schedule_soc(
+    soc: Soc,
+    total_width: int,
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> TestSchedule:
+    """Deprecated alias of :func:`run_paper_scheduler`.
+
+    Prefer ``Session().solve(ScheduleRequest(soc=soc, total_width=W,
+    solver="paper"))`` from :mod:`repro.solvers`, which shares Pareto
+    rectangle sets across solves.  Signature and results are unchanged.
+    """
+    _deprecated("schedule_soc", 'Session.solve(ScheduleRequest(..., solver="paper"))')
+    return run_paper_scheduler(soc, total_width, constraints=constraints, config=config)
 
 
 def best_schedule(
@@ -503,28 +594,18 @@ def best_schedule(
     slacks: Sequence[int] = (0, 3, 6),
     config: Optional[SchedulerConfig] = None,
 ) -> TestSchedule:
-    """Run the scheduler over a (``percent``, ``delta``, ``slack``) grid, keep the best.
+    """Deprecated alias of :func:`run_best_schedule`.
 
-    The paper tabulates the best result over all integer ``1 <= q <= 10`` and
-    ``0 <= delta <= 4`` (with the idle-insertion slack fixed at 3); this
-    helper reproduces that experimental protocol with a configurable grid.
-    The default grid is slightly wider than the paper's because the synthetic
-    Philips stand-ins reward smaller preferred widths at narrow TAMs.
+    Prefer ``Session().solve(ScheduleRequest(..., solver="best"))`` from
+    :mod:`repro.solvers`.  Signature and results are unchanged.
     """
-    base = config or SchedulerConfig()
-    best: Optional[TestSchedule] = None
-    for percent in percents:
-        for delta in deltas:
-            for slack in slacks:
-                candidate = schedule_soc(
-                    soc,
-                    total_width,
-                    constraints=constraints,
-                    config=replace(
-                        base, percent=percent, delta=delta, insertion_slack=slack
-                    ),
-                )
-                if best is None or candidate.makespan < best.makespan:
-                    best = candidate
-    assert best is not None
-    return best
+    _deprecated("best_schedule", 'Session.solve(ScheduleRequest(..., solver="best"))')
+    return run_best_schedule(
+        soc,
+        total_width,
+        constraints=constraints,
+        percents=percents,
+        deltas=deltas,
+        slacks=slacks,
+        config=config,
+    )

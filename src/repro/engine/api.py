@@ -170,12 +170,16 @@ def parallel_tam_sweep(
     config: Optional[SchedulerConfig] = None,
     workers: int = 0,
     monotone: bool = True,
+    solver: str = "paper",
 ) -> TamSweep:
     """Schedule the SOC at every width and collect ``T``/``D``; engine-backed.
 
     Semantics match :func:`repro.core.data_volume.sweep_tam_widths`
     (including the monotone staircase clamp, applied in width order after
-    all schedules complete) for every worker count.
+    all schedules complete) for every worker count.  ``solver`` may name
+    any registered schedule-producing solver (see :mod:`repro.solvers`), so
+    the Figure 9 curves can be regenerated for a baseline as easily as for
+    the paper scheduler.
     """
     ordered = normalize_sweep_widths(widths, monotone)
     named = {"constraints": constraints} if constraints is not None else {}
@@ -187,6 +191,7 @@ def parallel_tam_sweep(
             width=width,
             config=config or SchedulerConfig(),
             constraints="constraints" if constraints is not None else None,
+            solver=solver,
             group=(soc.name, "tam_sweep"),
         )
         for index, width in enumerate(ordered)

@@ -48,6 +48,10 @@ class ScheduleJob:
     constraints:
         Key of the constraint set in the context, or ``None`` for
         unconstrained non-preemptive scheduling.
+    solver:
+        Registry name of the solver to run (see :mod:`repro.solvers`);
+        defaults to the paper scheduler.  The solver must produce a
+        schedule (bound-only solvers cannot be engine jobs).
     group:
         Aggregation key: results sharing a group compete for "best of
         group" (e.g. ``(soc, width, mode)`` for a Table 1 cell).
@@ -61,6 +65,7 @@ class ScheduleJob:
     width: int
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     constraints: Optional[str] = None
+    solver: str = "paper"
     group: Tuple[Any, ...] = ()
     tags: Tuple[Tuple[str, Any], ...] = ()
 
@@ -69,6 +74,8 @@ class ScheduleJob:
             raise EngineError(f"job index must be non-negative, got {self.index}")
         if self.width <= 0:
             raise EngineError(f"TAM width must be positive, got {self.width}")
+        if not self.solver:
+            raise EngineError("a job must name a solver")
         object.__setattr__(self, "group", tuple(self.group))
         object.__setattr__(
             self, "tags", tuple((str(name), value) for name, value in self.tags)

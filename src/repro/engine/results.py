@@ -28,6 +28,7 @@ _BASE_FIELDS = (
     "insertion_slack",
     "max_core_width",
     "constraints",
+    "solver",
     "group",
     "makespan",
     "data_volume",
@@ -135,6 +136,7 @@ class SweepResults:
                 "insertion_slack": job.config.insertion_slack,
                 "max_core_width": job.config.max_core_width,
                 "constraints": job.constraints or "",
+                "solver": job.solver,
                 "group": "/".join(str(part) for part in job.group),
                 "makespan": result.makespan,
                 "data_volume": result.data_volume,

@@ -2,11 +2,17 @@
 
 The executor guarantees that for a fixed job list the *results are
 independent of the worker count*: jobs are pure functions of their inputs
-(the scheduler is deterministic), results are returned in job order, and all
+(every solver is deterministic), results are returned in job order, and all
 aggregation downstream tie-breaks on the job index.  ``workers <= 1`` runs a
 deterministic in-process loop; ``workers > 1`` fans the jobs out over a
 process pool whose initializer ships the :class:`EngineContext` once and
-warms each worker's Pareto-curve cache (the dominant per-schedule cost).
+warms each worker's Pareto caches (the dominant per-schedule cost).
+
+Jobs are solved through the process-wide solver
+:class:`~repro.solvers.session.Session` (see :mod:`repro.solvers`), so the
+shared rectangle cache stays warm across every job a worker executes and
+any registered schedule-producing solver can be swept by naming it in
+:attr:`~repro.engine.jobs.ScheduleJob.solver`.
 
 If a pool cannot be created at all -- sandboxes without working semaphores,
 platforms without ``fork``/``spawn`` -- the engine silently degrades to the
@@ -16,13 +22,12 @@ serial path rather than failing the sweep.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.data_volume import tester_data_volume
-from repro.core.scheduler import schedule_soc
 from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
 from repro.engine.results import SweepResults
+from repro.solvers.request import ScheduleRequest
+from repro.solvers.session import get_default_session
 from repro.wrapper.pareto import prime_pareto_cache
 
 # Context installed in each pool worker by the initializer (fork workers
@@ -31,28 +36,50 @@ _WORKER_CONTEXT: Optional[EngineContext] = None
 
 
 def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
-    """Run one job to completion in the current process."""
+    """Run one job to completion in the current process.
+
+    The job is dispatched through the process-wide solver session, so its
+    Pareto rectangle sets come from (and warm) the shared cache.
+    """
     soc, constraints = context.resolve(job)
-    started = time.perf_counter()
-    schedule = schedule_soc(soc, job.width, constraints=constraints, config=job.config)
-    wall_time = time.perf_counter() - started
+    result = get_default_session().solve(
+        ScheduleRequest(
+            soc=soc,
+            total_width=job.width,
+            solver=job.solver,
+            config=job.config,
+            constraints=constraints,
+        )
+    )
+    if result.schedule is None:
+        raise EngineError(
+            f"solver {job.solver!r} produces no schedule and cannot run as an "
+            "engine job"
+        )
     return JobResult(
         job=job,
-        makespan=schedule.makespan,
-        data_volume=tester_data_volume(schedule),
-        schedule=schedule,
-        wall_time=wall_time,
+        makespan=result.makespan,
+        data_volume=result.data_volume,
+        schedule=result.schedule,
+        wall_time=result.wall_time,
         worker=multiprocessing.current_process().name,
     )
 
 
 def prime_context_caches(context: EngineContext, max_widths: Iterable[int]) -> int:
-    """Warm the Pareto-curve cache for every SOC in the context."""
+    """Warm the Pareto caches for every SOC in the context.
+
+    Both the per-process testing-time curve memo and the default solver
+    session's rectangle cache are primed, so every subsequent solve of the
+    same SOC skips wrapper design entirely.
+    """
+    session = get_default_session()
     primed = 0
     widths = sorted({int(width) for width in max_widths})
     for soc in context.socs.values():
         for max_width in widths:
             primed += prime_pareto_cache(soc.cores, max_width)
+            session.rectangle_sets(soc, max_width)
     return primed
 
 

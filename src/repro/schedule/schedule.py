@@ -197,39 +197,51 @@ class TestSchedule:
     # ------------------------------------------------------------------
     def validate(
         self,
-        soc: Soc,
+        soc: Optional[Soc] = None,
         constraints: Optional[ConstraintSet] = None,
         expected_times: Optional[Dict[str, Dict[int, int]]] = None,
     ) -> None:
         """Check the schedule for structural and constraint violations.
 
+        Called with no arguments it performs the purely structural checks:
+        the total TAM width is never exceeded at any instant (so no two
+        segments can overlap on a wire) and no core's own segments overlap
+        in time.  Every solver output goes through at least this form.
+
         Parameters
         ----------
         soc:
-            The SOC the schedule was built for.  Every scheduled core must
-            exist, and every core of the SOC must be scheduled.
+            The SOC the schedule was built for.  When given, every scheduled
+            core must exist and every core of the SOC must be fully
+            scheduled (its test appears in the schedule).
         constraints:
-            Optional constraint set; when given, precedence, concurrency,
-            power and preemption-limit violations raise :class:`ScheduleError`.
+            Optional constraint set; when given (requires ``soc``),
+            precedence, concurrency, power and preemption-limit violations
+            raise :class:`ScheduleError`.
         expected_times:
             Optional mapping ``core -> {width -> testing time}``.  When given,
             each core's total scheduled time must equal the testing time of
             its assigned width plus its accumulated preemption overhead.
             (The scheduler passes this; external callers usually omit it.)
         """
-        core_names = set(soc.core_names)
-        scheduled = set(self.scheduled_cores)
-        unknown = sorted(scheduled - core_names)
-        if unknown:
-            raise ScheduleError(f"schedule references unknown cores: {unknown}")
-        missing = sorted(core_names - scheduled)
-        if missing:
-            raise ScheduleError(f"schedule does not test cores: {missing}")
+        if soc is not None:
+            core_names = set(soc.core_names)
+            scheduled = set(self.scheduled_cores)
+            unknown = sorted(scheduled - core_names)
+            if unknown:
+                raise ScheduleError(f"schedule references unknown cores: {unknown}")
+            missing = sorted(core_names - scheduled)
+            if missing:
+                raise ScheduleError(f"schedule does not test cores: {missing}")
 
         self._check_width_capacity()
         self._check_no_core_self_overlap()
 
         if constraints is not None:
+            if soc is None:
+                raise ScheduleError(
+                    "constraint validation needs the SOC the schedule was built for"
+                )
             constraints.validate_for(soc)
             self._check_precedence(constraints)
             self._check_concurrency(constraints)
@@ -325,6 +337,43 @@ class TestSchedule:
                     f"core {core!r} is under-tested: scheduled {total} cycles, "
                     f"needs at least {expected_for_core[width]}"
                 )
+
+    # ------------------------------------------------------------------
+    # Serialization (the payload of a :class:`repro.solvers.ScheduleResult`)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dict form (round-trips through :meth:`from_dict`)."""
+        return {
+            "soc_name": self.soc_name,
+            "total_width": self.total_width,
+            "segments": [
+                {
+                    "core": segment.core,
+                    "start": segment.start,
+                    "end": segment.end,
+                    "width": segment.width,
+                }
+                for segment in self.segments
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TestSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        segments = tuple(
+            ScheduleSegment(
+                core=str(item["core"]),
+                start=int(item["start"]),
+                end=int(item["end"]),
+                width=int(item["width"]),
+            )
+            for item in data.get("segments") or ()
+        )
+        return cls(
+            soc_name=str(data["soc_name"]),
+            total_width=int(data["total_width"]),
+            segments=segments,
+        )
 
     # ------------------------------------------------------------------
     # Reporting

@@ -253,6 +253,38 @@ class ConstraintSet:
             default_preemptions=max(self.default_preemptions, other.default_preemptions),
         )
 
+    # ------------------------------------------------------------------
+    # Serialization (the payload of a :class:`repro.solvers.ScheduleRequest`)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dict form (round-trips through :meth:`from_dict`).
+
+        Concurrency pairs keep their stored order, with each pair's members
+        sorted, so ``from_dict(to_dict(c)) == c``.
+        """
+        return {
+            "precedence": [list(pair) for pair in self.precedence],
+            "concurrency": [sorted(pair) for pair in self.concurrency],
+            "power_max": self.power_max,
+            "max_preemptions": dict(self.max_preemptions),
+            "default_preemptions": self.default_preemptions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ConstraintSet":
+        """Rebuild a constraint set from :meth:`to_dict` output."""
+        power_max = data.get("power_max")
+        preemptions = dict(data.get("max_preemptions") or {})
+        return cls(
+            precedence=tuple((str(a), str(b)) for a, b in data.get("precedence") or ()),
+            concurrency=tuple(
+                frozenset((str(a), str(b))) for a, b in data.get("concurrency") or ()
+            ),
+            power_max=float(power_max) if power_max is not None else None,
+            max_preemptions={str(name): int(limit) for name, limit in preemptions.items()},
+            default_preemptions=int(data.get("default_preemptions") or 0),
+        )
+
     def describe(self) -> str:
         """Human-readable summary of the constraint set."""
         parts = [

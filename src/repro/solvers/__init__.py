@@ -1,0 +1,67 @@
+"""Unified solver API: one ``solve(ScheduleRequest)`` front door.
+
+Every scheduling algorithm in the repository -- the paper's
+``TAM_schedule_optimizer``, its best-over-grid protocol, the fixed-width
+and shelf baselines, the exhaustive reference packer and the testing-time
+lower bound -- is a *solver* behind a single API:
+
+>>> from repro.solvers import ScheduleRequest, Session
+>>> from repro.soc.benchmarks import d695
+>>> session = Session()
+>>> result = session.solve(ScheduleRequest(soc=d695(), total_width=32))
+>>> shelf = session.solve(
+...     ScheduleRequest(soc=d695(), total_width=32, solver="shelf"))
+>>> result.makespan <= shelf.makespan
+True
+
+The :class:`Session` shares one Pareto rectangle cache across all solvers
+and widths, so comparing many algorithms on one SOC recomputes no wrapper
+designs.  New solvers plug in with :func:`register_solver`; requests and
+results are frozen dataclasses that round-trip through JSON (the wire
+format a future service layer uses unchanged).
+
+Layering: ``request`` (wire format) -> ``base`` (solver contract) ->
+``registry`` (name -> factory + capabilities) -> ``builtin`` (the six
+built-in solvers) -> ``session`` (cache-sharing facade).
+"""
+
+from repro.solvers.base import BaseSolver, Solver, SolverCapabilities
+from repro.solvers.registry import (
+    SolverInfo,
+    SolverRegistry,
+    default_registry,
+    normalize_solver_name,
+    register_solver,
+)
+from repro.solvers.request import (
+    DEFAULT_SOLVER,
+    ScheduleRequest,
+    ScheduleResult,
+    SolverError,
+)
+from repro.solvers.session import (
+    Session,
+    SessionCacheInfo,
+    get_default_session,
+    solve,
+)
+import repro.solvers.builtin  # noqa: F401  (registers the built-in solvers)
+
+__all__ = [
+    "BaseSolver",
+    "Solver",
+    "SolverCapabilities",
+    "SolverInfo",
+    "SolverRegistry",
+    "default_registry",
+    "normalize_solver_name",
+    "register_solver",
+    "DEFAULT_SOLVER",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "SolverError",
+    "Session",
+    "SessionCacheInfo",
+    "get_default_session",
+    "solve",
+]

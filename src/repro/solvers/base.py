@@ -1,0 +1,162 @@
+"""The solver contract: capability metadata and the :class:`Solver` base class.
+
+A solver is any object with a ``name``, a :class:`SolverCapabilities`
+record and a single method ``solve(request) -> ScheduleResult``
+(:class:`BaseSolver` spells out the protocol).  Concrete solvers usually
+subclass :class:`Solver`, which stores the owning
+:class:`~repro.solvers.session.Session` (for the shared Pareto rectangle
+cache), validates solver options and assembles results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Protocol
+
+from repro.core.data_volume import tester_data_volume
+from repro.core.rectangles import RectangleSet
+from repro.schedule.schedule import TestSchedule
+from repro.soc.soc import Soc
+from repro.solvers.request import ScheduleRequest, ScheduleResult, SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.solvers.session import Session
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver can (and cannot) do.
+
+    Parameters
+    ----------
+    description:
+        One-line human-readable summary (shown by ``repro solvers``).
+    supports_constraints:
+        Honors precedence/concurrency constraints in the request.  Solvers
+        without this flag silently ignore the request's constraint set
+        (matching their historical free-function behaviour).
+    supports_preemption:
+        Honors per-core preemption budgets (may split tests).
+    supports_power:
+        Honors the request's power budget.
+    exact:
+        Produces a provably optimal answer on the instances it accepts.
+    produces_schedule:
+        Returns a packed :class:`~repro.schedule.schedule.TestSchedule`;
+        bound-only solvers (e.g. ``lower-bound``) return just a makespan.
+    """
+
+    description: str
+    supports_constraints: bool = False
+    supports_preemption: bool = False
+    supports_power: bool = False
+    exact: bool = False
+    produces_schedule: bool = True
+
+    def summary(self) -> str:
+        """Compact ``flag=yes/no`` rendering used by the CLI listing."""
+
+        def yn(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        return (
+            f"schedule={yn(self.produces_schedule)} "
+            f"constraints={yn(self.supports_constraints)} "
+            f"preemption={yn(self.supports_preemption)} "
+            f"power={yn(self.supports_power)} "
+            f"exact={yn(self.exact)}"
+        )
+
+
+class BaseSolver(Protocol):
+    """The protocol every registered solver satisfies."""
+
+    name: str
+    capabilities: SolverCapabilities
+
+    def solve(self, request: ScheduleRequest) -> ScheduleResult:
+        """Solve one request and return the result."""
+        ...  # pragma: no cover - protocol stub
+
+
+class Solver:
+    """Convenience base class for registry solvers.
+
+    Subclasses set the ``name`` and ``capabilities`` class attributes and
+    implement :meth:`solve`.  The base class provides access to the owning
+    session's shared Pareto rectangle cache, option validation and result
+    assembly.
+    """
+
+    name: str = ""
+    capabilities: SolverCapabilities = SolverCapabilities(description="")
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+
+    @property
+    def session(self) -> "Session":
+        """The session this solver instance belongs to."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def rectangle_sets(self, soc: Soc, max_width: int) -> Dict[str, RectangleSet]:
+        """Pareto rectangle sets from the session's shared cache."""
+        return self._session.rectangle_sets(soc, max_width)
+
+    def options(self, request: ScheduleRequest, **defaults: Any) -> Dict[str, Any]:
+        """Merge request options over ``defaults``; unknown names raise."""
+        unknown = sorted(set(request.options) - set(defaults))
+        if unknown:
+            raise SolverError(
+                f"solver {self.name!r} does not understand options {unknown}; "
+                f"known options: {sorted(defaults)}"
+            )
+        merged = dict(defaults)
+        merged.update(request.options)
+        return merged
+
+    def schedule_result(
+        self,
+        request: ScheduleRequest,
+        schedule: TestSchedule,
+        metadata: Optional[Mapping[str, Any]] = None,
+    ) -> ScheduleResult:
+        """Wrap a packed schedule into a :class:`ScheduleResult`."""
+        return ScheduleResult(
+            solver=self.name,
+            soc_name=request.soc.name,
+            total_width=request.total_width,
+            makespan=schedule.makespan,
+            data_volume=tester_data_volume(schedule),
+            schedule=schedule,
+            metadata=dict(metadata or {}),
+        )
+
+    def bound_result(
+        self,
+        request: ScheduleRequest,
+        makespan: int,
+        metadata: Optional[Mapping[str, Any]] = None,
+    ) -> ScheduleResult:
+        """Wrap a bound-only answer (no schedule) into a :class:`ScheduleResult`.
+
+        With no schedule to measure, ``data_volume`` is the same bound
+        applied to ``D(W) = W * T``.
+        """
+        return ScheduleResult(
+            solver=self.name,
+            soc_name=request.soc.name,
+            total_width=request.total_width,
+            makespan=makespan,
+            data_volume=request.total_width * makespan,
+            schedule=None,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def solve(self, request: ScheduleRequest) -> ScheduleResult:
+        """Solve one request; subclasses must override."""
+        raise NotImplementedError

@@ -1,0 +1,167 @@
+"""The solver registry: name -> (factory, capabilities).
+
+New comparison points plug in with a decorator instead of a cross-cutting
+edit::
+
+    @register_solver("my-solver", capabilities=SolverCapabilities(
+        description="my custom packer"))
+    class MySolver(Solver):
+        name = "my-solver"
+
+        def solve(self, request):
+            ...
+            return self.schedule_result(request, schedule)
+
+Solver names are case-insensitive and ``_``/``-`` agnostic (``fixed_width``
+resolves to ``fixed-width``).  The default registry is a process-wide
+singleton shared by every :class:`~repro.solvers.session.Session` unless a
+session is given its own registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
+
+from repro.solvers.base import BaseSolver, Solver, SolverCapabilities
+from repro.solvers.request import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.solvers.session import Session
+
+SolverFactory = Callable[["Session"], BaseSolver]
+
+
+def normalize_solver_name(name: str) -> str:
+    """Canonical registry key for a solver name (lower-case, hyphenated)."""
+    return name.strip().lower().replace("_", "-")
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """One registry entry: the canonical name, factory and capabilities."""
+
+    name: str
+    factory: SolverFactory
+    capabilities: SolverCapabilities
+
+
+class SolverRegistry:
+    """A mutable mapping of solver names to factories with capability metadata."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SolverInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: SolverFactory,
+        capabilities: SolverCapabilities,
+        replace: bool = False,
+    ) -> SolverInfo:
+        """Register a solver factory under ``name``.
+
+        ``factory`` is called with the owning session and must return an
+        object satisfying :class:`~repro.solvers.base.BaseSolver`; a
+        :class:`~repro.solvers.base.Solver` subclass works as-is.
+        Re-registering an existing name raises unless ``replace=True``.
+        """
+        key = normalize_solver_name(name)
+        if not key:
+            raise SolverError("solver name must be non-empty")
+        if key in self._entries and not replace:
+            raise SolverError(
+                f"solver {key!r} is already registered; pass replace=True to override"
+            )
+        info = SolverInfo(name=key, factory=factory, capabilities=capabilities)
+        self._entries[key] = info
+        return info
+
+    def unregister(self, name: str) -> None:
+        """Remove a solver from the registry (missing names raise)."""
+        key = normalize_solver_name(name)
+        if key not in self._entries:
+            raise SolverError(f"unknown solver {name!r}; known: {self.names()}")
+        del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All registered solver names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and normalize_solver_name(name) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self, name: str) -> SolverInfo:
+        """The registry entry for one solver (unknown names raise)."""
+        key = normalize_solver_name(name)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise SolverError(
+                f"unknown solver {name!r}; known: {self.names()}"
+            ) from None
+
+    def capabilities_of(self, name: str) -> SolverCapabilities:
+        """The capability metadata of one solver."""
+        return self.info(name).capabilities
+
+    def create(self, name: str, session: "Session") -> BaseSolver:
+        """Instantiate a solver for one session."""
+        return self.info(name).factory(session)
+
+    def describe(self) -> str:
+        """Multi-line listing of every solver and its capabilities."""
+        if not self._entries:
+            return "(no solvers registered)"
+        width = max(len(name) for name in self._entries)
+        lines = []
+        for name in self.names():
+            info = self._entries[name]
+            lines.append(f"{name:<{width}}  {info.capabilities.summary()}")
+            lines.append(f"{'':<{width}}  {info.capabilities.description}")
+        return "\n".join(lines)
+
+
+# The process-wide registry the built-in solvers register into.
+_DEFAULT_REGISTRY = SolverRegistry()
+
+
+def default_registry() -> SolverRegistry:
+    """The process-wide default registry (with all built-in solvers)."""
+    # Importing the built-ins lazily avoids a cycle at package import time
+    # while guaranteeing the default registry is always populated.
+    import repro.solvers.builtin  # noqa: F401
+
+    return _DEFAULT_REGISTRY
+
+
+def register_solver(
+    name: str,
+    capabilities: SolverCapabilities,
+    registry: Optional[SolverRegistry] = None,
+    replace: bool = False,
+) -> Callable[[Type[Solver]], Type[Solver]]:
+    """Class decorator registering a :class:`Solver` subclass.
+
+    Registers into the default registry unless ``registry`` is given, sets
+    the class's ``name``/``capabilities`` attributes to match the registry
+    entry, and returns the class unchanged otherwise.
+    """
+
+    def decorate(cls: Type[Solver]) -> Type[Solver]:
+        target = registry if registry is not None else _DEFAULT_REGISTRY
+        info = target.register(name, cls, capabilities, replace=replace)
+        cls.name = info.name
+        cls.capabilities = info.capabilities
+        return cls
+
+    return decorate

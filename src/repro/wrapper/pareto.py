@@ -75,6 +75,15 @@ def pareto_cache_info():
     return _time_curve_cached.cache_info()
 
 
+def clear_pareto_cache() -> None:
+    """Drop every memoised testing-time curve in this process.
+
+    Used by benchmarks that need a deterministic cold start to measure the
+    cache's effect; normal code never needs to call this.
+    """
+    _time_curve_cached.cache_clear()
+
+
 def pareto_points(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[ParetoPoint]:
     """Pareto-optimal (width, time) points, in increasing width order.
 

@@ -1,10 +1,15 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+import warnings
+
 import pytest
 
+from repro.baselines.shelf import shelf_schedule
 from repro.cli import build_parser, main
 from repro.soc.benchmarks import d695
 from repro.soc.itc02 import save_soc
+from repro.solvers import default_registry
 
 
 class TestParser:
@@ -56,6 +61,93 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "testing time" in out
         assert "data volume" in out
+
+    def test_solvers_command_lists_capability_metadata(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in default_registry().names():
+            assert name in out
+        assert "constraints=yes" in out  # paper / best
+        assert "schedule=no" in out  # lower-bound
+        assert "exact=yes" in out  # exhaustive
+
+    def test_solve_command_default_paper(self, capsys):
+        assert main(["solve", "d695", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "solver      : paper" in out
+        assert "makespan" in out
+        assert "data volume" in out
+
+    def test_solve_command_shelf_end_to_end(self, capsys):
+        assert main(["solve", "--solver", "shelf", "--", "d695", "32"]) == 0
+        out = capsys.readouterr().out
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            expected = shelf_schedule(d695(), 32).makespan
+        assert f"makespan    : {expected} cycles" in out
+
+    def test_solve_command_json_output(self, capsys):
+        assert main(["solve", "d695", "16", "--solver", "lower-bound", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["solver"] == "lower-bound"
+        assert record["schedule"] is None
+        assert record["makespan"] > 0
+
+    def test_solve_command_with_options(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "d695",
+                    "16",
+                    "--solver",
+                    "fixed-width",
+                    "--options",
+                    '{"max_buses": 2}',
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bus_widths" in out
+
+    @pytest.mark.parametrize("solver", ["paper", "shelf", "fixed-width"])
+    def test_solve_command_matches_session_api(self, capsys, solver):
+        """The CLI front door and the Python front door agree exactly."""
+        from repro.solvers import ScheduleRequest, Session
+
+        assert main(["solve", "--solver", solver, "--", "d695", "32"]) == 0
+        out = capsys.readouterr().out
+        expected = Session().solve(
+            ScheduleRequest(soc=d695(), total_width=32, solver=solver)
+        )
+        assert f"makespan    : {expected.makespan} cycles" in out
+
+    def test_solve_command_unknown_solver_fails(self, capsys):
+        assert main(["solve", "d695", "16", "--solver", "bogus"]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_solve_command_solver_refusal_is_clean(self, capsys):
+        assert main(["solve", "d695", "16", "--solver", "exhaustive"]) == 2
+        assert "limited to 6 cores" in capsys.readouterr().err
+
+    def test_solve_command_bad_options_json_is_clean(self, capsys):
+        assert main(["solve", "d695", "16", "--options", "{bad"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_schedule_command_bad_width_is_clean(self, capsys):
+        assert main(["schedule", "d695", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_schedule_command_with_solver(self, capsys):
+        assert main(["schedule", "--solver", "shelf", "--", "d695", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "testing time" in out
+        assert "lower bound" in out
+
+    def test_schedule_command_rejects_bound_only_solver(self, capsys):
+        assert main(["schedule", "d695", "32", "--solver", "lower-bound"]) == 2
+        assert "produces no schedule" in capsys.readouterr().err
 
     def test_table2_command(self, capsys):
         assert (
