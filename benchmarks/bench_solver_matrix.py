@@ -9,7 +9,10 @@ curve memo underneath it) eliminates all wrapper-design work, which is the
 dominant per-solve cost.
 
 Solvers that refuse an instance (the exhaustive packer on SOCs with more
-than 6 cores) are reported as ``n/a`` -- refusal is part of their contract.
+than 6 cores) are reported as ``n/a`` *with the refusal reason spelled out
+below the matrix* -- refusal is part of their contract (d695 has 10 cores
+and p93791 has 32, far beyond the exhaustive packer's n! feasibility
+envelope), and a silent ``n/a`` used to be indistinguishable from a bug.
 
 Run explicitly:
 
@@ -34,8 +37,13 @@ SOLVER_OPTIONS = {"best": {"percents": (1, 25), "deltas": (0,), "slacks": (3, 6)
 
 
 def _run_pass(session, socs):
-    """One full solver x SOC x width pass; returns (cells, elapsed seconds)."""
+    """One full solver x SOC x width pass.
+
+    Returns ``(cells, refusals, elapsed seconds)``; a refused cell holds
+    ``None`` in ``cells`` and its reason string in ``refusals``.
+    """
     cells = {}
+    refusals = {}
     started = time.perf_counter()
     for soc_name, soc in socs.items():
         for solver in session.solvers():
@@ -48,9 +56,10 @@ def _run_pass(session, socs):
                         )
                     )
                     cells[(soc_name, solver, width)] = result.makespan
-                except ValueError:
-                    cells[(soc_name, solver, width)] = None  # refused the instance
-    return cells, time.perf_counter() - started
+                except ValueError as error:  # refused the instance
+                    cells[(soc_name, solver, width)] = None
+                    refusals[(soc_name, solver, width)] = str(error)
+    return cells, refusals, time.perf_counter() - started
 
 
 def test_solver_matrix_and_pareto_cache_reuse(results_dir):
@@ -60,11 +69,17 @@ def test_solver_matrix_and_pareto_cache_reuse(results_dir):
     session = Session()
     socs = {name: get_benchmark(name) for name in SOCS}
 
-    first_cells, first_time = _run_pass(session, socs)
-    second_cells, second_time = _run_pass(session, socs)
+    first_cells, refusals, first_time = _run_pass(session, socs)
+    second_cells, _, second_time = _run_pass(session, socs)
 
     # Determinism: the warm pass reproduces every cell exactly.
     assert second_cells == first_cells
+
+    # A refusal must carry an explanation; an unexplained n/a is a bug in
+    # the solver, not part of its contract.
+    for key, makespan in first_cells.items():
+        if makespan is None:
+            assert key in refusals and refusals[key], f"silent n/a at {key}"
 
     info = session.cache_info()
     assert info.hits > 0, "the second pass must hit the shared rectangle cache"
@@ -73,7 +88,7 @@ def test_solver_matrix_and_pareto_cache_reuse(results_dir):
     # The margin is large (~8x locally), but shared CI runners can hiccup,
     # so one slow warm pass gets a single re-measure before failing.
     if second_time >= first_time:
-        retry_cells, second_time = _run_pass(session, socs)
+        retry_cells, _, second_time = _run_pass(session, socs)
         assert retry_cells == first_cells
     assert second_time < first_time, (
         f"warm pass ({second_time:.3f}s) should beat cold pass ({first_time:.3f}s)"
@@ -89,6 +104,11 @@ def test_solver_matrix_and_pareto_cache_reuse(results_dir):
                 for width in WIDTHS
             )
             lines.append(f"{soc_name:<8} {solver:<12} {row}")
+    if refusals:
+        lines.append("")
+        lines.append("refused cells (n/a above):")
+        for (soc_name, solver, width), reason in sorted(refusals.items()):
+            lines.append(f"  {soc_name} {solver} W={width}: {reason}")
     lines += [
         "",
         f"cold pass (empty caches) : {first_time:.3f} s",

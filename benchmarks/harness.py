@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: the standalone face of ``repro bench``.
+
+Runs one timing suite from :mod:`repro.analysis.perf` and writes a
+machine-readable ``BENCH_<suite>.json`` (per-phase wall time, cache
+statistics, schedule makespans + fingerprints for integrity), so every PR
+leaves a comparable baseline behind:
+
+    python benchmarks/harness.py --suite curves --json BENCH_curves.json
+    python benchmarks/harness.py --suite solve  --json BENCH_solve.json
+    python benchmarks/harness.py --suite sweep
+
+``--check-golden benchmarks/golden_makespans.json`` exits non-zero when
+any makespan or schedule fingerprint drifts from the checked-in golden
+values -- CI runs exactly that on every push (the ``bench-smoke`` job).
+
+Identical flags are available as ``repro bench`` once the package is
+installed; this file only bootstraps ``src/`` onto ``sys.path`` so the
+harness also runs from a bare checkout.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+from _bootstrap import ensure_src_on_path  # noqa: E402
+
+ensure_src_on_path()
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,437 @@
+"""Perf-trajectory harness: machine-readable timing suites (``repro bench``).
+
+Every PR that touches a hot path should leave a comparable baseline behind.
+The three suites here emit JSON reports (``BENCH_<suite>.json``) with
+
+* **per-phase wall time** -- curve construction vs. scheduling, cold vs.
+  warm, minimum over ``repeats`` runs so scheduler noise does not swamp the
+  signal;
+* **cache statistics** -- the wrapper-curve kernel memo
+  (:func:`repro.wrapper.curve.curve_cache_info`) and the solver session's
+  rectangle cache;
+* **schedule makespans and fingerprints for integrity** -- every timing run
+  also records what it computed, so a "faster" run that silently changed
+  results is caught by :func:`check_golden` against a checked-in golden
+  file (CI runs this on every push).
+
+Suites
+------
+``curves``
+    Per-core wrapper-curve construction timings (cold and warm) plus a
+    quick ``paper``-solver integrity solve per SOC.
+``solve``
+    The headline number: a **cold** full pass -- every registered solver x
+    SOC x TAM width on a fresh session with an empty curve cache -- split
+    into a curve-construction phase and a scheduling phase, plus a warm
+    repeat pass.
+``sweep``
+    The Figure 9 ``T(W)`` / ``D(W)`` sweep on the parallel sweep engine
+    (serial path), cold and warm.
+
+The standalone entry point ``benchmarks/harness.py`` and the ``repro bench``
+CLI subcommand are thin wrappers over :func:`run_suite`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.schedule.schedule import TestSchedule
+from repro.soc.benchmarks import get_benchmark
+from repro.solvers import ScheduleRequest, Session
+from repro.wrapper.curve import clear_curve_cache, curve_cache_info, wrapper_curve
+
+SUITES = ("curves", "solve", "sweep")
+
+#: SOCs and TAM widths of the ``solve`` suite's cold full pass.
+SOLVE_SOCS: Tuple[str, ...] = ("d695", "p93791")
+SOLVE_WIDTHS: Tuple[int, ...] = (16, 32, 64)
+
+#: Trimmed grid for the "best" solver so one pass stays CI-sized (same
+#: trim as benchmarks/bench_solver_matrix.py).
+SOLVE_OPTIONS: Dict[str, Dict[str, Any]] = {
+    "best": {"percents": (1, 25), "deltas": (0,), "slacks": (3, 6)}
+}
+
+DEFAULT_MAX_WIDTH = 64
+
+
+def schedule_fingerprint(schedule: Optional[TestSchedule]) -> Optional[str]:
+    """Order-sensitive SHA-256 of a schedule's segments.
+
+    Two schedules fingerprint equal iff they are bit-identical (same
+    segments, same order, same widths); used to pin "faster" against
+    "still computes the same thing".
+    """
+    if schedule is None:
+        return None
+    payload = repr(
+        [(s.core, s.start, s.end, s.width) for s in schedule.segments]
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def cold_reset() -> None:
+    """Drop every per-process wrapper cache for a deterministic cold start.
+
+    Clears the curve kernel memo, the reference BFD memos *and* the
+    process-wide default solver session's rectangle cache (the sweep
+    engine solves through that session, and its cached ``RectangleSet``
+    objects embed already-built curves, so leaving it warm would let a
+    "cold" run skip all wrapper-design work).
+    """
+    import repro.wrapper.design_wrapper  # noqa: F401  (module, not the function)
+    from repro.solvers.session import get_default_session
+
+    reference = sys.modules["repro.wrapper.design_wrapper"]
+    clear_curve_cache()
+    reference._scan_lengths_cached.cache_clear()
+    reference._best_width_upto.cache_clear()
+    get_default_session().clear_cache()
+
+
+def _meta(suite: str) -> Dict[str, Any]:
+    return {
+        "suite": suite,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "schema_version": 1,
+    }
+
+
+def _cache_stats(session: Optional[Session] = None) -> Dict[str, Any]:
+    info = curve_cache_info()
+    stats: Dict[str, Any] = {
+        "curve": {
+            "hits": info.hits,
+            "misses": info.misses,
+            "cores": info.cores,
+            "widths_computed": info.widths_computed,
+        }
+    }
+    if session is not None:
+        session_info = session.cache_info()
+        stats["session"] = {
+            "hits": session_info.hits,
+            "misses": session_info.misses,
+            "entries": session_info.entries,
+        }
+    return stats
+
+
+def _integrity_solves(
+    session: Session, soc_names: Sequence[str], widths: Sequence[int]
+) -> Tuple[Dict[str, int], Dict[str, str]]:
+    """``paper``-solver makespans/fingerprints used for golden comparisons."""
+    makespans: Dict[str, int] = {}
+    fingerprints: Dict[str, str] = {}
+    for soc_name in soc_names:
+        soc = get_benchmark(soc_name)
+        for width in widths:
+            result = session.solve(
+                ScheduleRequest(soc=soc, total_width=width, solver="paper")
+            )
+            key = f"{soc_name}/paper/{width}"
+            makespans[key] = result.makespan
+            fingerprints[key] = schedule_fingerprint(result.schedule)
+    return makespans, fingerprints
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+def run_curves_suite(
+    soc_names: Sequence[str] = ("d695",),
+    max_width: int = DEFAULT_MAX_WIDTH,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Per-core wrapper-curve construction timings, cold and warm."""
+    cores_report: List[Dict[str, Any]] = []
+    cold_totals: Dict[str, float] = {}
+    warm_totals: Dict[str, float] = {}
+    for soc_name in soc_names:
+        soc = get_benchmark(soc_name)
+        best_cold: Dict[str, float] = {}
+        for _ in range(max(1, repeats)):
+            cold_reset()
+            for core in soc.cores:
+                started = time.perf_counter()
+                wrapper_curve(core, max_width)
+                elapsed = time.perf_counter() - started
+                if core.name not in best_cold or elapsed < best_cold[core.name]:
+                    best_cold[core.name] = elapsed
+        warm_total = 0.0
+        for core in soc.cores:
+            started = time.perf_counter()
+            curve = wrapper_curve(core, max_width)
+            warm = time.perf_counter() - started
+            warm_total += warm
+            cores_report.append(
+                {
+                    "soc": soc_name,
+                    "core": core.name,
+                    "cold_seconds": best_cold[core.name],
+                    "warm_seconds": warm,
+                    "pareto_points": len(curve.pareto_widths),
+                    "max_pareto_width": curve.max_pareto_width,
+                    "min_time": curve.min_time,
+                }
+            )
+        cold_totals[soc_name] = sum(best_cold.values())
+        warm_totals[soc_name] = warm_total
+    session = Session()
+    makespans, fingerprints = _integrity_solves(session, soc_names, SOLVE_WIDTHS)
+    return {
+        **_meta("curves"),
+        "socs": list(soc_names),
+        "max_width": max_width,
+        "repeats": repeats,
+        "phases": {
+            "curve_cold_seconds": cold_totals,
+            "curve_warm_seconds": warm_totals,
+        },
+        "cores": cores_report,
+        "cache": _cache_stats(session),
+        "makespans": makespans,
+        "fingerprints": fingerprints,
+    }
+
+
+def _solve_pass(
+    session: Session, soc_names: Sequence[str], widths: Sequence[int]
+) -> Tuple[Dict[str, Any], Dict[str, float]]:
+    """One full solver x SOC x width pass; returns (cells, phase timings)."""
+    cells: Dict[str, Any] = {}
+    curve_seconds = 0.0
+    solve_seconds = 0.0
+    for soc_name in soc_names:
+        soc = get_benchmark(soc_name)
+        started = time.perf_counter()
+        session.rectangle_sets(soc, DEFAULT_MAX_WIDTH)
+        curve_seconds += time.perf_counter() - started
+        for solver in session.solvers():
+            options = SOLVE_OPTIONS.get(solver, {})
+            for width in widths:
+                key = f"{soc_name}/{solver}/{width}"
+                started = time.perf_counter()
+                try:
+                    result = session.solve(
+                        ScheduleRequest(
+                            soc=soc,
+                            total_width=width,
+                            solver=solver,
+                            options=options,
+                        )
+                    )
+                    cells[key] = {
+                        "makespan": result.makespan,
+                        "fingerprint": schedule_fingerprint(result.schedule),
+                    }
+                except ValueError as error:  # solver refusals are contractual
+                    cells[key] = {"refused": str(error)}
+                solve_seconds += time.perf_counter() - started
+    return cells, {"curves": curve_seconds, "solve": solve_seconds}
+
+
+def run_solve_suite(
+    soc_names: Sequence[str] = SOLVE_SOCS,
+    widths: Sequence[int] = SOLVE_WIDTHS,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Cold full pass over every registered solver, plus a warm repeat."""
+    cells: Optional[Dict[str, Any]] = None
+    cold_runs: List[Dict[str, float]] = []
+    warm_runs: List[Dict[str, float]] = []
+    session: Optional[Session] = None
+    for _ in range(max(1, repeats)):
+        cold_reset()
+        session = Session()
+        pass_cells, cold_phases = _solve_pass(session, soc_names, widths)
+        warm_cells, warm_phases = _solve_pass(session, soc_names, widths)
+        if cells is not None and pass_cells != cells:
+            raise AssertionError("solve suite is non-deterministic across runs")
+        if pass_cells != warm_cells:
+            raise AssertionError("warm pass changed solver results")
+        cells = pass_cells
+        cold_runs.append(cold_phases)
+        warm_runs.append(warm_phases)
+
+    def best(runs: List[Dict[str, float]]) -> Dict[str, float]:
+        total = min(sum(run.values()) for run in runs)
+        keys = runs[0].keys()
+        return {
+            **{key: min(run[key] for run in runs) for key in keys},
+            "total": total,
+        }
+
+    assert cells is not None and session is not None
+    makespans = {
+        key: cell["makespan"] for key, cell in cells.items() if "makespan" in cell
+    }
+    fingerprints = {
+        key: cell["fingerprint"]
+        for key, cell in cells.items()
+        if cell.get("fingerprint")
+    }
+    refusals = {
+        key: cell["refused"] for key, cell in cells.items() if "refused" in cell
+    }
+    return {
+        **_meta("solve"),
+        "socs": list(soc_names),
+        "widths": list(widths),
+        "repeats": repeats,
+        "solver_options": {k: {n: list(v) for n, v in o.items()} for k, o in SOLVE_OPTIONS.items()},
+        "phases": {
+            "cold": best(cold_runs),
+            "warm": best(warm_runs),
+        },
+        "cache": _cache_stats(session),
+        "makespans": makespans,
+        "fingerprints": fingerprints,
+        "refusals": refusals,
+    }
+
+
+def run_sweep_suite(
+    soc_names: Sequence[str] = ("d695",),
+    min_width: int = 4,
+    max_width: int = 80,
+    step: int = 2,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """The Figure 9 ``T(W)``/``D(W)`` sweep, cold and warm (serial engine)."""
+    from repro.engine.api import parallel_tam_sweep
+
+    widths = tuple(range(min_width, max_width + 1, step))
+    timings: Dict[str, Dict[str, float]] = {}
+    makespans: Dict[str, int] = {}
+    for soc_name in soc_names:
+        soc = get_benchmark(soc_name)
+        cold_best: Optional[float] = None
+        sweep = None
+        for _ in range(max(1, repeats)):
+            cold_reset()
+            started = time.perf_counter()
+            sweep = parallel_tam_sweep(soc, widths, workers=0)
+            elapsed = time.perf_counter() - started
+            cold_best = elapsed if cold_best is None else min(cold_best, elapsed)
+        started = time.perf_counter()
+        warm_sweep = parallel_tam_sweep(soc, widths, workers=0)
+        warm = time.perf_counter() - started
+        assert sweep is not None
+        if tuple(warm_sweep.testing_times) != tuple(sweep.testing_times):
+            raise AssertionError("warm sweep changed results")
+        timings[soc_name] = {"cold_seconds": cold_best, "warm_seconds": warm}
+        for width, testing_time in zip(sweep.widths, sweep.testing_times):
+            makespans[f"{soc_name}/sweep/{width}"] = testing_time
+    return {
+        **_meta("sweep"),
+        "socs": list(soc_names),
+        "widths": list(widths),
+        "repeats": repeats,
+        "phases": timings,
+        "cache": _cache_stats(),
+        "makespans": makespans,
+    }
+
+
+def run_suite(suite: str, soc_names: Optional[Sequence[str]] = None, **kwargs: Any) -> Dict[str, Any]:
+    """Dispatch one named suite (``curves``, ``solve`` or ``sweep``)."""
+    if suite == "curves":
+        return run_curves_suite(soc_names or ("d695",), **kwargs)
+    if suite == "solve":
+        return run_solve_suite(soc_names or SOLVE_SOCS, **kwargs)
+    if suite == "sweep":
+        return run_sweep_suite(soc_names or ("d695",), **kwargs)
+    raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+
+
+# ----------------------------------------------------------------------
+# Golden comparisons and report IO
+# ----------------------------------------------------------------------
+def check_golden(report: Mapping[str, Any], golden: Mapping[str, Any]) -> List[str]:
+    """Compare a report's integrity values against a golden file.
+
+    Only keys present in *both* the report and the golden data are
+    compared (so a d695-only CI run checks against a golden file that also
+    covers p93791).  Returns a list of human-readable drift descriptions;
+    empty means everything matches.
+    """
+    drifts: List[str] = []
+    compared = 0
+    for section in ("makespans", "fingerprints"):
+        want = golden.get(section, {})
+        have = report.get(section, {})
+        for key in sorted(set(want) & set(have)):
+            compared += 1
+            if want[key] != have[key]:
+                drifts.append(
+                    f"{section[:-1]} drift at {key}: "
+                    f"golden {want[key]!r} != measured {have[key]!r}"
+                )
+    if compared == 0:
+        # A gate that compares nothing must fail loudly, not pass silently
+        # -- this catches empty golden files and report/golden key-format
+        # divergence (e.g. a renamed solver) alike.
+        drifts.append(
+            "golden check compared zero values: no overlap between the "
+            "report's and the golden file's makespans/fingerprints keys"
+        )
+    return drifts
+
+
+def write_report(report: Mapping[str, Any], path: str) -> None:
+    """Write one suite report as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a suite report (or golden file) from JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def summarize(report: Mapping[str, Any]) -> str:
+    """Human-readable one-screen summary of a suite report."""
+    lines = [f"suite      : {report.get('suite')}"]
+    lines.append(f"socs       : {', '.join(report.get('socs', ()))}")
+    phases = report.get("phases", {})
+    for name, value in phases.items():
+        if isinstance(value, Mapping):
+            rendered = ", ".join(
+                f"{key}={seconds:.4f}s" if isinstance(seconds, float) else f"{key}={seconds}"
+                for key, seconds in value.items()
+            )
+            lines.append(f"{name:<11}: {rendered}")
+        else:
+            lines.append(f"{name:<11}: {value:.4f}s")
+    cache = report.get("cache", {})
+    curve = cache.get("curve")
+    if curve:
+        lines.append(
+            "curve cache: "
+            f"{curve['hits']} hits, {curve['misses']} misses, "
+            f"{curve['cores']} cores, {curve['widths_computed']} widths"
+        )
+    session = cache.get("session")
+    if session:
+        lines.append(
+            "session    : "
+            f"{session['hits']} hits, {session['misses']} misses, "
+            f"{session['entries']} entries"
+        )
+    makespans = report.get("makespans", {})
+    if makespans:
+        lines.append(f"makespans  : {len(makespans)} recorded")
+    refusals = report.get("refusals", {})
+    for key, reason in sorted(refusals.items()):
+        lines.append(f"refused    : {key}: {reason}")
+    return "\n".join(lines)

@@ -27,6 +27,12 @@ Subcommands
     ``D(W)`` curves of Figure 9 (default), or the full Table 1 / Table 2
     experiments, optionally across ``--workers`` processes and exported to
     CSV/JSON.
+``bench``
+    Run one perf-trajectory suite (``curves``, ``solve`` or ``sweep``) and
+    emit a machine-readable ``BENCH_<suite>.json`` report: per-phase wall
+    times, cache statistics and schedule makespans for integrity.
+    ``--check-golden FILE`` fails (exit 1) when makespans or schedule
+    fingerprints drift from the checked-in golden values.
 """
 
 from __future__ import annotations
@@ -273,6 +279,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import perf
+
+    kwargs = {}
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    report = perf.run_suite(args.suite, soc_names=args.soc or None, **kwargs)
+    print(perf.summarize(report))
+    json_path = args.json
+    if json_path is not None:
+        if json_path == "":
+            json_path = f"BENCH_{args.suite}.json"
+        perf.write_report(report, json_path)
+        print(f"wrote {json_path}")
+    if args.check_golden:
+        golden = perf.load_report(args.check_golden)
+        drifts = perf.check_golden(report, golden)
+        if drifts:
+            for drift in drifts:
+                print(f"GOLDEN DRIFT: {drift}", file=sys.stderr)
+            return 1
+        print(f"golden check against {args.check_golden}: OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -370,6 +401,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", help="also write the result records to this JSON file")
     _add_workers_argument(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="run a perf-trajectory suite and emit BENCH_<suite>.json"
+    )
+    p_bench.add_argument(
+        "--suite",
+        choices=("curves", "solve", "sweep"),
+        default="curves",
+        help="what to measure: per-core curve construction (default), the "
+        "cold full-solver pass, or the Figure 9 sweep",
+    )
+    p_bench.add_argument(
+        "--soc",
+        action="append",
+        help="benchmark SOC to measure (repeatable; suite-specific default)",
+    )
+    p_bench.add_argument(
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        help="write the JSON report here (bare --json writes "
+        "BENCH_<suite>.json in the current directory)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repetitions per measurement (report keeps the minimum)",
+    )
+    p_bench.add_argument(
+        "--check-golden",
+        metavar="FILE",
+        help="compare makespans/fingerprints against this golden JSON and "
+        "exit 1 on drift",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -15,13 +15,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.soc.core import Core
 from repro.soc.soc import Soc
-from repro.wrapper.design_wrapper import preemption_overhead
-from repro.wrapper.pareto import (
+from repro.wrapper.curve import (
     DEFAULT_MAX_WIDTH,
     ParetoPoint,
-    pareto_points,
-    preferred_width,
+    WrapperCurve,
+    wrapper_curve,
 )
+from repro.wrapper.pareto import preferred_width
 
 
 @dataclass(frozen=True)
@@ -39,14 +39,21 @@ class Rectangle:
 
 
 class RectangleSet:
-    """The Pareto-optimal rectangles for one core (set ``R_i`` in the paper)."""
+    """The Pareto-optimal rectangles for one core (set ``R_i`` in the paper).
+
+    Backed by the single-pass wrapper-curve kernel
+    (:func:`repro.wrapper.curve.wrapper_curve`): construction costs one
+    curve lookup and every width/time query is O(1) or a binary search over
+    the Pareto widths.
+    """
 
     def __init__(self, core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> None:
         if max_width <= 0:
             raise ValueError("max_width must be positive")
         self._core = core
         self._max_width = max_width
-        self._points: Tuple[ParetoPoint, ...] = tuple(pareto_points(core, max_width))
+        self._curve: WrapperCurve = wrapper_curve(core, max_width)
+        self._points: Tuple[ParetoPoint, ...] = self._curve.pareto_points()
 
     # ------------------------------------------------------------------
     @property
@@ -63,6 +70,11 @@ class RectangleSet:
     def max_width(self) -> int:
         """Maximum TAM width considered when enumerating Pareto points."""
         return self._max_width
+
+    @property
+    def curve(self) -> WrapperCurve:
+        """The full wrapper curve behind these rectangles."""
+        return self._curve
 
     @property
     def points(self) -> Tuple[ParetoPoint, ...]:
@@ -87,25 +99,14 @@ class RectangleSet:
         """Largest Pareto-optimal width that is <= ``width``.
 
         Assigning any width between two Pareto points wastes wires; the
-        scheduler therefore snaps every assignment down to a Pareto width.
+        scheduler therefore snaps every assignment down to a Pareto width
+        (found by binary search).
         """
-        if width < 1:
-            raise ValueError("width must be at least 1")
-        best = self._points[0].width
-        for point in self._points:
-            if point.width <= width:
-                best = point.width
-            else:
-                break
-        return best
+        return self._curve.effective_width(width)
 
     def time_at(self, width: int) -> int:
         """Core testing time when given ``width`` TAM wires."""
-        effective = self.effective_width(width)
-        for point in self._points:
-            if point.width == effective:
-                return point.time
-        raise AssertionError("effective width must be a Pareto point")
+        return self._curve.time(self._curve.effective_width(width))
 
     @property
     def max_pareto_width(self) -> int:
@@ -120,7 +121,7 @@ class RectangleSet:
     @property
     def min_area(self) -> int:
         """``min_w w * T(w)`` -- used by the lower bound of Table 1."""
-        return min(point.area for point in self._points)
+        return self._curve.min_area
 
     def preferred_width(self, percent: float, delta: int, width_cap: int) -> int:
         """The paper's preferred width, clamped to a Pareto width <= ``width_cap``."""
@@ -130,7 +131,7 @@ class RectangleSet:
 
     def preemption_overhead(self, width: int) -> int:
         """Cycles added each time this core's test is preempted at ``width``."""
-        return preemption_overhead(self._core, self.effective_width(width))
+        return self._curve.preemption_overhead(self._curve.effective_width(width))
 
 
 def build_rectangle_sets(

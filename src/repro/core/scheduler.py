@@ -47,6 +47,7 @@ literal pseudocode ordering.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -174,7 +175,28 @@ class _CoreState:
 
 
 class _Scheduler:
-    """One scheduling run; see :func:`schedule_soc` for the public entry point."""
+    """One scheduling run; see :func:`schedule_soc` for the public entry point.
+
+    The event loop keeps its hot-path state *incremental* instead of
+    re-deriving it from ``states.values()`` on every query:
+
+    * the running / paused / unstarted pools are maintained (insertion-
+      ordered) dicts, updated in :meth:`_start` and :meth:`_pause`;
+    * the TAM wires in use, the total running power and the per-BIST-engine
+      occupancy counts are running totals, so :meth:`_conflicts` and
+      :meth:`_width_available` are O(1) (plus a pairwise walk only when
+      explicit concurrency constraints exist);
+    * unsatisfied precedence is a per-core set of pending predecessors,
+      emptied as predecessors complete;
+    * :meth:`_advance` reads the next event time from a min-heap of
+      completion times (entries are invalidated lazily: a popped entry is
+      ignored unless it still matches its core's current finish time).
+
+    Candidate selection (``max``/``min`` with name tie-breaks) is invariant
+    to pool iteration order, so schedules are bit-identical to the
+    re-scanning implementation this replaces -- a property pinned by the
+    golden regression tests in ``tests/test_perf_regression.py``.
+    """
 
     def __init__(
         self,
@@ -207,6 +229,22 @@ class _Scheduler:
                 power=core.test_power,
                 bist_resource=core.bist_resource,
             )
+        # Incremental pools and running totals (see class docstring).
+        self._running: Dict[str, _CoreState] = {}
+        self._paused: Dict[str, _CoreState] = {}
+        self._unstarted: Dict[str, _CoreState] = dict(self.states)
+        self._incomplete = len(self.states)
+        self._width_in_use = 0
+        self._running_power = 0.0
+        self._bist_in_use: Dict[str, int] = {}
+        self._completion_heap: List[Tuple[int, str]] = []
+        self._concurrency = frozenset(constraints.concurrency)
+        self._pending_preds: Dict[str, set] = {}
+        self._successors: Dict[str, List[str]] = {}
+        for before, after in constraints.precedence:
+            if before in self.states and after in self.states:
+                self._pending_preds.setdefault(after, set()).add(before)
+                self._successors.setdefault(before, []).append(after)
         self._check_feasibility()
 
     # ------------------------------------------------------------------
@@ -226,35 +264,33 @@ class _Scheduler:
     # ------------------------------------------------------------------
     # Conflict checks (paper Figure 7)
     # ------------------------------------------------------------------
-    def _running_states(self) -> List[_CoreState]:
-        return [state for state in self.states.values() if state.running]
-
     def _width_available(self) -> int:
-        in_use = sum(state.assigned_width or 0 for state in self._running_states())
-        return self.total_width - in_use
+        return self.total_width - self._width_in_use
 
     def _conflicts(self, state: _CoreState) -> bool:
         """True if scheduling ``state`` right now would violate a constraint."""
-        # Precedence: every predecessor must be complete before the first start.
-        if not state.begun:
-            for before in self.constraints.predecessors_of(state.name):
-                if before in self.states and not self.states[before].complete:
+        # Precedence: every predecessor must be complete before the first
+        # start.  Pending-predecessor sets are drained on completion, so
+        # this is one dict lookup.
+        if not state.begun and self._pending_preds.get(state.name):
+            return True
+        # Concurrency constraints against currently running tests; the
+        # pairwise walk only happens when explicit constraints exist.
+        if self._concurrency:
+            name = state.name
+            for other in self._running.values():
+                if frozenset((name, other.name)) in self._concurrency:
                     return True
-        running = self._running_states()
-        # Concurrency constraints against currently running tests.
-        for other in running:
-            if not self.constraints.allows_concurrent(state.name, other.name):
-                return True
-            if (
-                state.bist_resource is not None
-                and other.bist_resource == state.bist_resource
-            ):
-                return True
-        # Power budget.
+        # BIST-engine sharing: maintained occupancy count per engine.
+        if (
+            state.bist_resource is not None
+            and self._bist_in_use.get(state.bist_resource, 0) > 0
+        ):
+            return True
+        # Power budget against the maintained running-power total.
         power_max = self.constraints.power_max
         if power_max is not None:
-            total_power = sum(other.power for other in running) + state.power
-            if total_power > power_max + 1e-9:
+            if self._running_power + state.power > power_max + 1e-9:
                 return True
         return False
 
@@ -272,13 +308,26 @@ class _Scheduler:
                 # scan-out + scan-in (Figure 6, line 5).
                 state.preemptions += 1
                 state.remaining += state.rectangles.preemption_overhead(width)
+            del self._paused[state.name]
         else:
             state.assigned_width = width
             state.remaining = state.rectangles.time_at(width)
             state.begun = True
             state.first_begin = self.current_time
+            del self._unstarted[state.name]
         state.running = True
         state.run_start = self.current_time
+        self._running[state.name] = state
+        self._width_in_use += state.assigned_width
+        self._running_power += state.power
+        if state.bist_resource is not None:
+            self._bist_in_use[state.bist_resource] = (
+                self._bist_in_use.get(state.bist_resource, 0) + 1
+            )
+        heapq.heappush(
+            self._completion_heap,
+            (self.current_time + state.remaining, state.name),
+        )
 
     def _pause(self, state: _CoreState) -> None:
         """Stop a running test at the current time and record its segment."""
@@ -290,9 +339,30 @@ class _Scheduler:
         state.running = False
         state.run_start = None
         state.end_time = self.current_time
+        del self._running[state.name]
+        assert state.assigned_width is not None
+        self._width_in_use -= state.assigned_width
+        self._running_power -= state.power
+        if not self._running:
+            # Pin the accumulator back to exactly zero at quiet points so
+            # float error cannot build up across busy periods.
+            self._running_power = 0.0
+        if state.bist_resource is not None:
+            occupancy = self._bist_in_use.get(state.bist_resource, 0) - 1
+            if occupancy > 0:
+                self._bist_in_use[state.bist_resource] = occupancy
+            else:
+                self._bist_in_use.pop(state.bist_resource, None)
         if state.remaining <= 0:
             state.remaining = 0
             state.complete = True
+            self._incomplete -= 1
+            for after in self._successors.get(state.name, ()):
+                pending = self._pending_preds.get(after)
+                if pending:
+                    pending.discard(state.name)
+        else:
+            self._paused[state.name] = state
 
     def _emit_segment(self, state: _CoreState, start: int, end: int) -> None:
         assert state.assigned_width is not None
@@ -312,8 +382,8 @@ class _Scheduler:
     def _exhausted_paused(self) -> List[_CoreState]:
         return [
             state
-            for state in self.states.values()
-            if state.paused and state.preemptions >= state.max_preemptions
+            for state in self._paused.values()
+            if state.preemptions >= state.max_preemptions
         ]
 
     def _select_candidate(self, width_available: int) -> Optional[Tuple[_CoreState, int]]:
@@ -329,8 +399,8 @@ class _Scheduler:
             state = max(priority1, key=lambda s: (s.remaining, s.name))
             return state, state.assigned_width or 1
 
-        paused = [state for state in self.states.values() if state.paused]
-        unstarted = [state for state in self.states.values() if state.unstarted]
+        paused = list(self._paused.values())
+        unstarted = list(self._unstarted.values())
 
         def eligible(pool: Iterable[_CoreState]) -> List[Tuple[_CoreState, int]]:
             found = []
@@ -393,7 +463,7 @@ class _Scheduler:
         best: Optional[_CoreState] = None
         best_gain = 0
         best_width = 0
-        for state in self._running_states():
+        for state in self._running.values():
             if state.first_begin != self.current_time or state.run_start != self.current_time:
                 continue
             if state.preemptions or len(state.segments) > 0:
@@ -415,8 +485,14 @@ class _Scheduler:
                 best, best_gain, best_width = state, gain, new_width
         if best is None:
             return False
+        assert best.assigned_width is not None
+        self._width_in_use += best_width - best.assigned_width
         best.assigned_width = best_width
         best.remaining = best.rectangles.time_at(best_width)
+        heapq.heappush(
+            self._completion_heap,
+            (self.current_time + best.remaining, best.name),
+        )
         return True
 
     def _assignment_phase(self) -> None:
@@ -437,19 +513,33 @@ class _Scheduler:
     # Event loop
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        running = self._running_states()
-        if not running:
+        if not self._running:
             blocked = [s.name for s in self.states.values() if not s.complete]
             raise SchedulerError(
                 "no test can be scheduled and none is running; the constraints are "
                 f"unsatisfiable for cores {blocked}"
             )
-        next_time = min(
-            (state.run_start or 0) + state.remaining for state in running
-        )
+        # The next event is the earliest completion among running tests,
+        # read off the completion heap.  Entries are invalidated lazily: an
+        # entry is stale once its core stopped running or changed its
+        # finish time (width increase, preemption overhead), and every
+        # running core always has one entry matching its current finish, so
+        # the first live entry is the true minimum.
+        heap = self._completion_heap
+        while True:
+            finish, name = heap[0]
+            state = self.states[name]
+            if (
+                state.running
+                and state.run_start is not None
+                and state.run_start + state.remaining == finish
+            ):
+                break
+            heapq.heappop(heap)
+        next_time = finish
         assert next_time > self.current_time
         self.current_time = next_time
-        for state in running:
+        for state in list(self._running.values()):
             finish = (state.run_start or 0) + state.remaining
             if finish <= self.current_time:
                 self._pause(state)  # records segment and marks complete
@@ -463,14 +553,14 @@ class _Scheduler:
         total_cores = len(self.states)
         safety_limit = 10 * total_cores * (max(s.max_preemptions for s in self.states.values()) + 2)
         iterations = 0
-        while any(not state.complete for state in self.states.values()):
+        while self._incomplete:
             iterations += 1
             if iterations > max(safety_limit, 1000):
                 raise SchedulerError(
                     "scheduler failed to converge; this indicates an internal error"
                 )
             self._assignment_phase()
-            if all(state.complete for state in self.states.values()):
+            if not self._incomplete:
                 break
             self._advance()
         segments: List[ScheduleSegment] = []

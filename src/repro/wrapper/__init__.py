@@ -9,11 +9,21 @@ This subpackage implements the per-core half of wrapper/TAM co-optimization:
   from the authors' earlier work [12], producing a
   :class:`~repro.wrapper.design_wrapper.WrapperDesign` and the resulting
   core testing time ``T(w) = (1 + max(si, so)) * p + min(si, so)``.
+* :mod:`~repro.wrapper.curve` -- the single-pass wrapper-curve kernel: a
+  core's whole staircase ``T(1..W_max)``, scan lengths and Pareto points in
+  one incremental BFD sweep (:func:`~repro.wrapper.curve.wrapper_curve`).
 * :mod:`~repro.wrapper.pareto` -- testing-time staircases, Pareto-optimal
-  TAM widths, and the paper's *preferred TAM width* heuristic.
+  TAM widths, and the paper's *preferred TAM width* heuristic (a facade
+  over the kernel).
 """
 
 from repro.wrapper.partition import WrapperChain, partition_scan_chains
+from repro.wrapper.curve import (
+    WrapperCurve,
+    clear_curve_cache,
+    curve_cache_info,
+    wrapper_curve,
+)
 from repro.wrapper.design_wrapper import (
     WrapperDesign,
     design_wrapper,
@@ -41,6 +51,10 @@ from repro.wrapper.report import (
 __all__ = [
     "WrapperChain",
     "partition_scan_chains",
+    "WrapperCurve",
+    "wrapper_curve",
+    "curve_cache_info",
+    "clear_curve_cache",
     "WrapperDesign",
     "design_wrapper",
     "scan_lengths",

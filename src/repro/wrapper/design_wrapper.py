@@ -90,12 +90,6 @@ def design_wrapper(core: Core, width: int) -> WrapperDesign:
     )
 
 
-@lru_cache(maxsize=65536)
-def _scan_lengths_cached(core: Core, width: int) -> Tuple[int, int]:
-    design = design_wrapper(core, width)
-    return design.scan_in_length, design.scan_out_length
-
-
 def scan_lengths(core: Core, width: int) -> Tuple[int, int]:
     """Longest wrapper scan-in and scan-out lengths for ``core`` at ``width``.
 
@@ -104,8 +98,42 @@ def scan_lengths(core: Core, width: int) -> Tuple[int, int]:
     heuristic occasionally produces a slightly better partition with fewer
     chains).  This guarantees the testing time is non-increasing in the TAM
     width, which is what the Pareto analysis of the paper assumes.
+
+    Served by the single-pass wrapper-curve kernel
+    (:mod:`repro.wrapper.curve`); :func:`design_wrapper` above remains the
+    executable reference the kernel is pinned against.
     """
-    return _scan_lengths_cached(core, _best_width_upto(core, width))
+    from repro.wrapper.curve import wrapper_curve
+
+    return wrapper_curve(core, width).scan_lengths(width)
+
+
+def testing_time(core: Core, width: int) -> int:
+    """Core test application time (cycles) when given ``width`` TAM wires.
+
+    This is the time of the best wrapper design using at most ``width``
+    wrapper chains, so it is non-increasing in ``width``.  Served by the
+    wrapper-curve kernel.
+    """
+    from repro.wrapper.curve import wrapper_curve
+
+    return wrapper_curve(core, width).time(width)
+
+
+def preemption_overhead(core: Core, width: int) -> int:
+    """Cycles added to the core's test each time it is preempted and resumed."""
+    from repro.wrapper.curve import wrapper_curve
+
+    return wrapper_curve(core, width).preemption_overhead(width)
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (kernel equality is pinned against these)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=65536)
+def _scan_lengths_cached(core: Core, width: int) -> Tuple[int, int]:
+    design = design_wrapper(core, width)
+    return design.scan_in_length, design.scan_out_length
 
 
 def _raw_testing_time(core: Core, width: int) -> int:
@@ -115,7 +143,11 @@ def _raw_testing_time(core: Core, width: int) -> int:
 
 @lru_cache(maxsize=65536)
 def _best_width_upto(core: Core, width: int) -> int:
-    """The chain count ``w' <= width`` whose BFD design tests fastest."""
+    """The chain count ``w' <= width`` whose BFD design tests fastest.
+
+    Reference counterpart of :meth:`repro.wrapper.curve.WrapperCurve.best_width`,
+    retained (with its per-width memo) for the kernel equality tests.
+    """
     if width <= 0:
         raise ValueError(f"TAM width must be positive, got {width}")
     if width == 1:
@@ -124,18 +156,3 @@ def _best_width_upto(core: Core, width: int) -> int:
     if _raw_testing_time(core, width) < _raw_testing_time(core, previous):
         return width
     return previous
-
-
-def testing_time(core: Core, width: int) -> int:
-    """Core test application time (cycles) when given ``width`` TAM wires.
-
-    This is the time of the best wrapper design using at most ``width``
-    wrapper chains, so it is non-increasing in ``width``.
-    """
-    return _raw_testing_time(core, _best_width_upto(core, width))
-
-
-def preemption_overhead(core: Core, width: int) -> int:
-    """Cycles added to the core's test each time it is preempted and resumed."""
-    scan_in, scan_out = scan_lengths(core, width)
-    return scan_in + scan_out

@@ -11,53 +11,58 @@ whose testing time is within ``percent`` % of the time at the maximum
 allowable width ``max_width`` (64 in the paper), optionally bumped up to the
 highest Pareto width if the difference is at most ``delta`` wires (the
 "bottleneck core" heuristic of subroutine ``Initialize``, Figure 5).
+
+Everything here is a thin facade over the single-pass wrapper-curve kernel
+(:mod:`repro.wrapper.curve`): one :func:`~repro.wrapper.curve.wrapper_curve`
+call computes the whole staircase, its scan lengths and its Pareto points in
+one BFD sweep, and the lookups below are O(1) or a binary search over the
+non-increasing curve -- no linear scans, no per-width wrapper designs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Iterable, List, Tuple
+from typing import Iterable, List
 
 from repro.soc.core import Core
-from repro.wrapper.design_wrapper import testing_time
+from repro.wrapper.curve import (
+    DEFAULT_MAX_WIDTH,
+    CurveCacheInfo,
+    ParetoPoint,
+    clear_curve_cache,
+    curve_cache_info,
+    wrapper_curve,
+)
 
-DEFAULT_MAX_WIDTH = 64
-
-
-@dataclass(frozen=True)
-class ParetoPoint:
-    """A Pareto-optimal (TAM width, testing time) pair for one core."""
-
-    width: int
-    time: int
-
-    @property
-    def area(self) -> int:
-        """TAM-wire-cycles occupied by the core test at this point."""
-        return self.width * self.time
-
-
-@lru_cache(maxsize=16384)
-def _time_curve_cached(core: Core, max_width: int) -> Tuple[int, ...]:
-    return tuple(testing_time(core, width) for width in range(1, max_width + 1))
+__all__ = [
+    "DEFAULT_MAX_WIDTH",
+    "ParetoPoint",
+    "testing_time_curve",
+    "pareto_points",
+    "highest_pareto_width",
+    "minimum_testing_time",
+    "largest_pareto_width_not_exceeding",
+    "minimum_area",
+    "preferred_width",
+    "prime_pareto_cache",
+    "pareto_cache_info",
+    "clear_pareto_cache",
+]
 
 
 def testing_time_curve(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[int]:
     """``[T(1), T(2), ..., T(max_width)]`` for the core (the Figure 1 staircase)."""
-    if max_width <= 0:
-        raise ValueError("max_width must be positive")
-    return list(_time_curve_cached(core, max_width))
+    return list(wrapper_curve(core, max_width).times)
 
 
 def prime_pareto_cache(cores: Iterable[Core], max_width: int = DEFAULT_MAX_WIDTH) -> int:
-    """Warm this process's testing-time curve cache for the given cores.
+    """Warm this process's wrapper-curve cache for the given cores.
 
     Computing a core's wrapper-design staircase is the scheduler's dominant
-    cost; the curves are memoised per process in :func:`_time_curve_cached`.
-    Sweep-engine workers call this once at start-up (and the serial path
-    calls it before its loop) so every subsequent schedule of the same SOC
-    hits a warm cache.  Returns the number of curves now cached.
+    cost; the curves are memoised per process by the kernel
+    (:func:`repro.wrapper.curve.wrapper_curve`).  Sweep-engine workers call
+    this once at start-up (and the serial path calls it before its loop) so
+    every subsequent schedule of the same SOC hits a warm cache.  Returns
+    the number of curves now cached.
 
     Accepts any iterable of cores; pass ``soc.cores`` to prime a whole SOC.
     """
@@ -65,71 +70,65 @@ def prime_pareto_cache(cores: Iterable[Core], max_width: int = DEFAULT_MAX_WIDTH
         raise ValueError("max_width must be positive")
     count = 0
     for core in cores:
-        _time_curve_cached(core, max_width)
+        wrapper_curve(core, max_width)
         count += 1
     return count
 
 
-def pareto_cache_info():
-    """Cache statistics of the per-process testing-time curve memo."""
-    return _time_curve_cached.cache_info()
+def pareto_cache_info() -> CurveCacheInfo:
+    """Cache statistics of the per-process wrapper-curve memo."""
+    return curve_cache_info()
 
 
 def clear_pareto_cache() -> None:
-    """Drop every memoised testing-time curve in this process.
+    """Drop every memoised wrapper curve in this process.
 
     Used by benchmarks that need a deterministic cold start to measure the
     cache's effect; normal code never needs to call this.
     """
-    _time_curve_cached.cache_clear()
+    clear_curve_cache()
 
 
 def pareto_points(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> List[ParetoPoint]:
     """Pareto-optimal (width, time) points, in increasing width order.
 
     Width 1 is always included; a width ``w > 1`` is included only when
-    ``T(w) < T(w - 1)``.
+    ``T(w) < T(w - 1)``.  Memoised: the points are materialised once per
+    cached curve, so repeated calls (``minimum_area``,
+    ``highest_pareto_width``, rectangle-set construction) stop recomputing
+    them.
     """
-    curve = testing_time_curve(core, max_width)
-    points = [ParetoPoint(width=1, time=curve[0])]
-    for width in range(2, max_width + 1):
-        time = curve[width - 1]
-        if time < points[-1].time:
-            points.append(ParetoPoint(width=width, time=time))
-    return points
+    return list(wrapper_curve(core, max_width).pareto_points())
 
 
 def highest_pareto_width(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
     """The largest Pareto-optimal width (beyond it, extra wires buy nothing)."""
-    return pareto_points(core, max_width)[-1].width
+    return wrapper_curve(core, max_width).max_pareto_width
 
 
 def minimum_testing_time(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
     """The core's testing time at its highest Pareto-optimal width."""
-    return pareto_points(core, max_width)[-1].time
+    return wrapper_curve(core, max_width).min_time
 
 
 def largest_pareto_width_not_exceeding(
     core: Core, width: int, max_width: int = DEFAULT_MAX_WIDTH
 ) -> int:
-    """The largest Pareto-optimal width that is <= ``width`` (at least 1)."""
-    if width < 1:
-        raise ValueError("width must be at least 1")
-    best = 1
-    for point in pareto_points(core, max_width):
-        if point.width <= width:
-            best = point.width
-        else:
-            break
-    return best
+    """The largest Pareto-optimal width that is <= ``width`` (at least 1).
+
+    A binary search over the curve's Pareto widths, not a scan of
+    ``range(1, max_width + 1)``.
+    """
+    return wrapper_curve(core, max_width).effective_width(width)
 
 
 def minimum_area(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> int:
     """``min_w  w * T(w)`` -- the smallest TAM-wire-cycle footprint of the test.
 
-    Used by the lower bound of Table 1.
+    Used by the lower bound of Table 1.  Only Pareto points can minimise the
+    area, so the minimum is taken over them rather than every width.
     """
-    return min(point.area for point in pareto_points(core, max_width))
+    return wrapper_curve(core, max_width).min_area
 
 
 def preferred_width(
@@ -143,18 +142,17 @@ def preferred_width(
     The smallest width whose testing time is within ``percent`` % of the
     testing time at ``max_width``; if the highest Pareto-optimal width is at
     most ``delta`` wires larger, use that instead (helps bottleneck cores,
-    Figure 5 lines 5-6).
+    Figure 5 lines 5-6).  The smallest-width search is a binary search over
+    the non-increasing staircase.
     """
     if percent < 0:
         raise ValueError("percent must be non-negative")
     if delta < 0:
         raise ValueError("delta must be non-negative")
-    curve = testing_time_curve(core, max_width)
-    target = (1.0 + percent / 100.0) * curve[max_width - 1]
-    width = next(
-        (w for w in range(1, max_width + 1) if curve[w - 1] <= target), max_width
-    )
-    pareto_max = highest_pareto_width(core, max_width)
+    curve = wrapper_curve(core, max_width)
+    target = (1.0 + percent / 100.0) * curve.time(max_width)
+    width = curve.first_width_within(target)
+    pareto_max = curve.max_pareto_width
     if 0 < pareto_max - width <= delta:
         width = pareto_max
     return width
