@@ -85,6 +85,8 @@ from repro.schedule import (
     render_gantt,
 )
 from repro.core import (
+    GridPoint,
+    GridSweepOutcome,
     Rectangle,
     RectangleSet,
     SchedulerConfig,
@@ -95,6 +97,7 @@ from repro.core import (
     cost_curve,
     effective_width,
     lower_bound,
+    run_grid_sweep,
     schedule_soc,
     sweep_tam_widths,
     tester_data_volume,
@@ -188,6 +191,9 @@ __all__ = [
     "SchedulerError",
     "schedule_soc",
     "best_schedule",
+    "GridPoint",
+    "GridSweepOutcome",
+    "run_grid_sweep",
     "lower_bound",
     "TamSweep",
     "sweep_tam_widths",

@@ -23,7 +23,11 @@ Suites
     The headline number: a **cold** full pass -- every registered solver x
     SOC x TAM width on a fresh session with an empty curve cache -- split
     into a curve-construction phase and a scheduling phase, plus a warm
-    repeat pass.
+    repeat pass.  Also measures the ``best_full`` headline: the full
+    default-grid ``best`` sweep on p93791 at W=64, once through the
+    deduplicated/pruned grid-sweep subsystem and once through the
+    straightforward reference triple loop, reporting the speedup (the two
+    must produce bit-identical schedules).
 ``sweep``
     The Figure 9 ``T(W)`` / ``D(W)`` sweep on the parallel sweep engine
     (serial path), cold and warm.
@@ -41,6 +45,8 @@ import sys
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.grid_sweep import run_best_schedule_reference, run_grid_sweep
+from repro.core.scheduler import SchedulerConfig
 from repro.schedule.schedule import TestSchedule
 from repro.soc.benchmarks import get_benchmark
 from repro.solvers import ScheduleRequest, Session
@@ -48,9 +54,14 @@ from repro.wrapper.curve import clear_curve_cache, curve_cache_info, wrapper_cur
 
 SUITES = ("curves", "solve", "sweep")
 
-#: SOCs and TAM widths of the ``solve`` suite's cold full pass.
-SOLVE_SOCS: Tuple[str, ...] = ("d695", "p93791")
+#: SOCs and TAM widths of the ``solve`` suite's cold full pass (the full
+#: registered ITC'02 set since PR 4).
+SOLVE_SOCS: Tuple[str, ...] = ("d695", "p93791", "p22810", "p34392")
 SOLVE_WIDTHS: Tuple[int, ...] = (16, 32, 64)
+
+#: The headline measurement: a full default-grid ``best`` sweep, cold.
+BEST_FULL_SOC = "p93791"
+BEST_FULL_WIDTH = 64
 
 #: Trimmed grid for the "best" solver so one pass stays CI-sized (same
 #: trim as benchmarks/bench_solver_matrix.py).
@@ -238,6 +249,58 @@ def _solve_pass(
     return cells, {"curves": curve_seconds, "solve": solve_seconds}
 
 
+def _best_full_measurement(repeats: int) -> Dict[str, Any]:
+    """Cold full-grid ``best`` sweep on p93791/W=64: optimized vs reference.
+
+    Both paths run on freshly reset caches with pre-built rectangle sets
+    (so the number isolates grid-sweep work from curve construction, like
+    the matrix's ``solve`` phase).  The reference is the straightforward
+    serial triple loop over the full grid with the pre-PR4 re-scanning
+    ``_select_candidate`` -- the PR 3 execution strategy -- and must
+    produce a bit-identical schedule.
+    """
+    soc = get_benchmark(BEST_FULL_SOC)
+    reference_config = SchedulerConfig(use_candidate_heaps=False)
+    optimized_best: Optional[float] = None
+    reference_best: Optional[float] = None
+    outcome = None
+    reference_schedule = None
+    for _ in range(max(1, repeats)):
+        cold_reset()
+        session = Session()
+        sets = session.rectangle_sets(soc, DEFAULT_MAX_WIDTH)
+        started = time.perf_counter()
+        outcome = run_grid_sweep(soc, BEST_FULL_WIDTH, rectangle_sets=sets)
+        elapsed = time.perf_counter() - started
+        optimized_best = elapsed if optimized_best is None else min(optimized_best, elapsed)
+
+        cold_reset()
+        session = Session()
+        sets = session.rectangle_sets(soc, DEFAULT_MAX_WIDTH)
+        started = time.perf_counter()
+        reference_schedule, _ = run_best_schedule_reference(
+            soc, BEST_FULL_WIDTH, rectangle_sets=sets, config=reference_config
+        )
+        elapsed = time.perf_counter() - started
+        reference_best = elapsed if reference_best is None else min(reference_best, elapsed)
+    assert outcome is not None and reference_schedule is not None
+    if schedule_fingerprint(reference_schedule) != schedule_fingerprint(outcome.schedule):
+        raise AssertionError(
+            "grid sweep and reference best solver produced different schedules"
+        )
+    key = f"{BEST_FULL_SOC}/best-full/{BEST_FULL_WIDTH}"
+    return {
+        "phases": {
+            "reference_seconds": reference_best,
+            "optimized_seconds": optimized_best,
+            "speedup": reference_best / optimized_best if optimized_best else 0.0,
+        },
+        "makespans": {key: outcome.makespan},
+        "fingerprints": {key: schedule_fingerprint(outcome.schedule)},
+        "sweep": outcome.metadata(),
+    }
+
+
 def run_solve_suite(
     soc_names: Sequence[str] = SOLVE_SOCS,
     widths: Sequence[int] = SOLVE_WIDTHS,
@@ -281,6 +344,13 @@ def run_solve_suite(
     refusals = {
         key: cell["refused"] for key, cell in cells.items() if "refused" in cell
     }
+    # Snapshot the matrix's cache statistics before the best_full phase
+    # (whose cold resets would otherwise clobber the process-wide curve
+    # cache the report describes).
+    cache_stats = _cache_stats(session)
+    best_full = _best_full_measurement(repeats)
+    makespans.update(best_full["makespans"])
+    fingerprints.update(best_full["fingerprints"])
     return {
         **_meta("solve"),
         "socs": list(soc_names),
@@ -290,8 +360,10 @@ def run_solve_suite(
         "phases": {
             "cold": best(cold_runs),
             "warm": best(warm_runs),
+            "best_full": best_full["phases"],
         },
-        "cache": _cache_stats(session),
+        "best_full_sweep": best_full["sweep"],
+        "cache": cache_stats,
         "makespans": makespans,
         "fingerprints": fingerprints,
         "refusals": refusals,
@@ -406,10 +478,15 @@ def summarize(report: Mapping[str, Any]) -> str:
     phases = report.get("phases", {})
     for name, value in phases.items():
         if isinstance(value, Mapping):
-            rendered = ", ".join(
-                f"{key}={seconds:.4f}s" if isinstance(seconds, float) else f"{key}={seconds}"
-                for key, seconds in value.items()
-            )
+
+            def render(key: str, entry: Any) -> str:
+                if not isinstance(entry, float):
+                    return f"{key}={entry}"
+                if key == "speedup":
+                    return f"{key}={entry:.2f}x"
+                return f"{key}={entry:.4f}s"
+
+            rendered = ", ".join(render(key, entry) for key, entry in value.items())
             lines.append(f"{name:<11}: {rendered}")
         else:
             lines.append(f"{name:<11}: {value:.4f}s")

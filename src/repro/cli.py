@@ -38,7 +38,9 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import csv
 import dataclasses
+import io
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -53,7 +55,7 @@ from repro.analysis.reporting import (
 )
 from repro.core.lower_bounds import lower_bound
 from repro.core.scheduler import SchedulerConfig
-from repro.engine.api import parallel_tam_sweep
+from repro.engine.api import parallel_tam_sweep_results
 from repro.schedule.gantt import render_gantt
 from repro.soc.benchmarks import get_benchmark, list_benchmarks
 from repro.soc.itc02 import load_soc
@@ -254,7 +256,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     widths = _sweep_widths(args, 4, 80)
-    sweep = parallel_tam_sweep(soc, widths, workers=args.workers)
+    sweep, results = parallel_tam_sweep_results(
+        soc, widths, workers=args.workers, solver=args.solver
+    )
     time_series = list(zip(sweep.widths, sweep.testing_times))
     volume_series = list(zip(sweep.widths, sweep.data_volumes))
     print(ascii_plot(time_series, title=f"{soc.name}: testing time T(W)"))
@@ -268,14 +272,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             y_label="testing time / data volume",
         )
     )
-    _export(
-        args,
-        sweep_to_csv(sweep),
-        [
-            {"tam_width": w, "testing_time": t, "data_volume": d}
-            for (w, t), (_, d) in zip(time_series, volume_series)
-        ],
-    )
+    # Per-width records; solver metadata (e.g. the best sweep's winning
+    # grid point) rides along as extra columns when present.  A row whose
+    # testing_time was replaced by the monotone staircase clamp (a
+    # narrower width did better) gets no metadata -- that width's own run
+    # did not produce the reported value.
+    raw_by_width = {result.job.width: result for result in results}
+    extra_names: List[str] = []
+    for result in results:
+        for name, value in result.metadata:
+            if name not in extra_names and isinstance(value, (str, int, float, bool)):
+                extra_names.append(name)
+    records = []
+    for (w, t), (_, d) in zip(time_series, volume_series):
+        record = {"tam_width": w, "testing_time": t, "data_volume": d}
+        raw = raw_by_width.get(w)
+        metadata = dict(raw.metadata) if raw is not None and raw.makespan == t else {}
+        for name in extra_names:
+            record[name] = metadata.get(name, "")
+        records.append(record)
+    if extra_names:
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(records[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(records)
+        csv_text = buffer.getvalue()
+    else:
+        csv_text = sweep_to_csv(sweep)
+    _export(args, csv_text, records)
     return 0
 
 
@@ -393,6 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest TAM width (default: 80 for curves, 64 for table2)",
     )
     p_sweep.add_argument("--step", type=int, default=None, help="width step (default 2)")
+    p_sweep.add_argument(
+        "--solver",
+        default="paper",
+        help="solver for the curves experiment (any schedule-producing "
+        "registry solver, e.g. 'best'; default: paper)",
+    )
     p_sweep.add_argument(
         "--widths", type=int, nargs="*", help="TAM widths (table1 experiment)"
     )

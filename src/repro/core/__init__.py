@@ -7,6 +7,8 @@ driven test scheduling and tester data volume reduction.
   (paper Figures 4-8) solving Problems 1 and 2: flexible-width TAM
   assignment, precedence/concurrency/power constraints and selective
   preemption.
+* :mod:`~repro.core.grid_sweep` -- the deduplicated, pruned, optionally
+  parallel best-over-grid sweep behind the ``best`` solver.
 * :mod:`~repro.core.lower_bounds` -- the testing-time lower bound used in
   Table 1.
 * :mod:`~repro.core.data_volume` -- tester data volume, the normalized cost
@@ -15,12 +17,19 @@ driven test scheduling and tester data volume reduction.
 
 from repro.core.rectangles import Rectangle, RectangleSet, build_rectangle_sets
 from repro.core.scheduler import (
+    MakespanLimitExceeded,
     SchedulerConfig,
     SchedulerError,
     schedule_soc,
     best_schedule,
     run_paper_scheduler,
     run_best_schedule,
+)
+from repro.core.grid_sweep import (
+    GridPoint,
+    GridSweepOutcome,
+    run_best_schedule_reference,
+    run_grid_sweep,
 )
 from repro.core.lower_bounds import lower_bound, area_lower_bound, bottleneck_lower_bound
 from repro.core.data_volume import (
@@ -38,10 +47,15 @@ __all__ = [
     "build_rectangle_sets",
     "SchedulerConfig",
     "SchedulerError",
+    "MakespanLimitExceeded",
     "schedule_soc",
     "best_schedule",
     "run_paper_scheduler",
     "run_best_schedule",
+    "GridPoint",
+    "GridSweepOutcome",
+    "run_grid_sweep",
+    "run_best_schedule_reference",
     "lower_bound",
     "area_lower_bound",
     "bottleneck_lower_bound",

@@ -54,6 +54,10 @@ class RectangleSet:
         self._max_width = max_width
         self._curve: WrapperCurve = wrapper_curve(core, max_width)
         self._points: Tuple[ParetoPoint, ...] = self._curve.pareto_points()
+        # Direct view of the curve's width-indexed staircase for the O(1)
+        # time_at fast path (the shared array only ever grows in place, so
+        # holding a reference is safe).
+        self._times = self._curve.times
 
     # ------------------------------------------------------------------
     @property
@@ -105,8 +109,17 @@ class RectangleSet:
         return self._curve.effective_width(width)
 
     def time_at(self, width: int) -> int:
-        """Core testing time when given ``width`` TAM wires."""
-        return self._curve.time(self._curve.effective_width(width))
+        """Core testing time when given ``width`` TAM wires.
+
+        The curve's ``times`` array already holds the best design with *at
+        most* ``width`` chains (flat between Pareto steps), so no snapping
+        to a Pareto width is needed -- one O(1) array read.
+        """
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        if width > self._max_width:
+            width = self._max_width
+        return self._times[width - 1]
 
     @property
     def max_pareto_width(self) -> int:
@@ -130,8 +143,12 @@ class RectangleSet:
         return self.effective_width(min(width, cap))
 
     def preemption_overhead(self, width: int) -> int:
-        """Cycles added each time this core's test is preempted at ``width``."""
-        return self._curve.preemption_overhead(self._curve.effective_width(width))
+        """Cycles added each time this core's test is preempted at ``width``.
+
+        Like :meth:`time_at`, the scan-length arrays are flat between
+        Pareto steps, so the lookup needs no snapping.
+        """
+        return self._curve.preemption_overhead(min(width, self._max_width))
 
 
 def build_rectangle_sets(

@@ -49,7 +49,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
@@ -61,6 +61,16 @@ from repro.wrapper.pareto import DEFAULT_MAX_WIDTH
 
 class SchedulerError(RuntimeError):
     """Raised when an SOC cannot be scheduled under the given constraints."""
+
+
+class MakespanLimitExceeded(SchedulerError):
+    """Raised when a bounded run proves its makespan exceeds the limit.
+
+    The grid sweep (:mod:`repro.core.grid_sweep`) passes the best makespan
+    found so far as ``makespan_limit``; once the event clock moves strictly
+    past it, this run can no longer win (its makespan is at least the
+    current time while tests remain incomplete) and is abandoned early.
+    """
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,12 @@ class SchedulerConfig:
     strict_priority_resume:
         Resume paused tests strictly before starting new ones (the literal
         pseudocode ordering).  See the module docstring.
+    use_candidate_heaps:
+        Select candidates from maintained priority queues (lazy-invalidated
+        heaps over the paused/unstarted pools) instead of re-scanning the
+        pools on every query.  Results are bit-identical either way; the
+        flag exists so the straightforward scan stays reachable as the
+        executable reference for the property tests.
     """
 
     percent: float = 5.0
@@ -101,6 +117,7 @@ class SchedulerConfig:
     enable_idle_insertion: bool = True
     enable_width_increase: bool = True
     strict_priority_resume: bool = False
+    use_candidate_heaps: bool = True
 
     def __post_init__(self) -> None:
         if self.percent < 0:
@@ -129,26 +146,58 @@ class SchedulerConfig:
         return cls(**dict(data))
 
 
-@dataclass
 class _CoreState:
-    """Mutable bookkeeping for one core (the data structure of Figure 3)."""
+    """Mutable bookkeeping for one core (the data structure of Figure 3).
 
-    name: str
-    rectangles: RectangleSet
-    preferred_width: int
-    max_preemptions: int
-    power: float
-    bist_resource: Optional[str]
-    remaining: int = 0
-    assigned_width: Optional[int] = None
-    begun: bool = False
-    running: bool = False
-    complete: bool = False
-    preemptions: int = 0
-    first_begin: Optional[int] = None
-    end_time: Optional[int] = None
-    run_start: Optional[int] = None
-    segments: List[ScheduleSegment] = field(default_factory=list)
+    A plain ``__slots__`` class (not a dataclass): tens of instances are
+    created per scheduler run and their attributes dominate the hot paths,
+    so construction and access speed matter.
+    """
+
+    __slots__ = (
+        "name",
+        "rectangles",
+        "preferred_width",
+        "max_preemptions",
+        "power",
+        "bist_resource",
+        "remaining",
+        "assigned_width",
+        "begun",
+        "running",
+        "complete",
+        "preemptions",
+        "first_begin",
+        "end_time",
+        "run_start",
+        "segments",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        rectangles: RectangleSet,
+        preferred_width: int,
+        max_preemptions: int,
+        power: float,
+        bist_resource: Optional[str],
+    ) -> None:
+        self.name = name
+        self.rectangles = rectangles
+        self.preferred_width = preferred_width
+        self.max_preemptions = max_preemptions
+        self.power = power
+        self.bist_resource = bist_resource
+        self.remaining = 0
+        self.assigned_width: Optional[int] = None
+        self.begun = False
+        self.running = False
+        self.complete = False
+        self.preemptions = 0
+        self.first_begin: Optional[int] = None
+        self.end_time: Optional[int] = None
+        self.run_start: Optional[int] = None
+        self.segments: List[ScheduleSegment] = []
 
     @property
     def paused(self) -> bool:
@@ -205,6 +254,8 @@ class _Scheduler:
         constraints: ConstraintSet,
         config: SchedulerConfig,
         rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
+        preferred_widths: Optional[Mapping[str, int]] = None,
+        makespan_limit: Optional[int] = None,
     ) -> None:
         if total_width <= 0:
             raise SchedulerError("total TAM width must be positive")
@@ -213,6 +264,7 @@ class _Scheduler:
         self.constraints = constraints
         self.config = config
         self.current_time = 0
+        self.makespan_limit = makespan_limit
         width_cap = min(config.max_core_width, total_width)
         self.rectangle_sets = resolve_rectangle_sets(
             soc, config.max_core_width, rectangle_sets
@@ -220,7 +272,10 @@ class _Scheduler:
         self.states: Dict[str, _CoreState] = {}
         for core in soc.cores:
             rect = self.rectangle_sets[core.name]
-            preferred = rect.preferred_width(config.percent, config.delta, width_cap)
+            if preferred_widths is not None:
+                preferred = preferred_widths[core.name]
+            else:
+                preferred = rect.preferred_width(config.percent, config.delta, width_cap)
             self.states[core.name] = _CoreState(
                 name=core.name,
                 rectangles=rect,
@@ -237,7 +292,7 @@ class _Scheduler:
         self._width_in_use = 0
         self._running_power = 0.0
         self._bist_in_use: Dict[str, int] = {}
-        self._completion_heap: List[Tuple[int, str]] = []
+        self._completion_heap: List[Tuple[int, str, _CoreState]] = []
         self._concurrency = frozenset(constraints.concurrency)
         self._pending_preds: Dict[str, set] = {}
         self._successors: Dict[str, List[str]] = {}
@@ -245,6 +300,49 @@ class _Scheduler:
             if before in self.states and after in self.states:
                 self._pending_preds.setdefault(after, set()).add(before)
                 self._successors.setdefault(before, []).append(after)
+        # Candidate priority queues (see _select_candidate_heaps).  Entries
+        # are (-candidate_remaining, rank, state) where rank is the core's
+        # position in *descending* name order, so the heap pops the largest
+        # (remaining, name) first with pure-integer comparisons (ranks are
+        # unique, the state object is never compared).  Staleness is
+        # detected lazily by re-checking the core's pool membership and
+        # remaining time on pop.
+        self._use_heaps = config.use_candidate_heaps
+        self._fresh_starts: List[_CoreState] = []
+        self._no_preemption = all(
+            state.max_preemptions == 0 for state in self.states.values()
+        )
+        # With no constraints of any kind, _conflicts is identically False
+        # and the per-candidate call can be skipped entirely.
+        self._no_conflicts = (
+            not self._pending_preds
+            and not self._concurrency
+            and constraints.power_max is None
+            and all(state.bist_resource is None for state in self.states.values())
+        )
+        if self._use_heaps:
+            names_desc = sorted(self.states, reverse=True)
+            self._desc_rank: Dict[str, int] = {
+                name: rank for rank, name in enumerate(names_desc)
+            }
+            asc_rank = {name: rank for rank, name in enumerate(sorted(self.states))}
+            self._unstarted_heap: List[Tuple[int, int, _CoreState]] = [
+                (-state.candidate_remaining(), self._desc_rank[name], state)
+                for name, state in self.states.items()
+            ]
+            heapq.heapify(self._unstarted_heap)
+            # Idle-insertion fallback wants the *smallest* (preferred width,
+            # name) over unstarted cores, so this one ranks ascending.
+            self._squeeze_heap: List[Tuple[int, int, _CoreState]] = [
+                (state.preferred_width, asc_rank[name], state)
+                for name, state in self.states.items()
+            ]
+            heapq.heapify(self._squeeze_heap)
+            self._paused_heap: List[Tuple[int, int, _CoreState]] = []
+            self._exhausted_heap: List[Tuple[int, int, _CoreState]] = []
+        self._select = (
+            self._select_candidate_heaps if self._use_heaps else self._select_candidate_scan
+        )
         self._check_feasibility()
 
     # ------------------------------------------------------------------
@@ -299,7 +397,6 @@ class _Scheduler:
     # ------------------------------------------------------------------
     def _start(self, state: _CoreState, width: int) -> None:
         """Start or resume a core test at the given width (paper ``Assign``)."""
-        width = state.rectangles.effective_width(width)
         if state.begun:
             assert state.assigned_width is not None
             width = state.assigned_width  # widths are fixed once packed
@@ -310,11 +407,13 @@ class _Scheduler:
                 state.remaining += state.rectangles.preemption_overhead(width)
             del self._paused[state.name]
         else:
+            width = state.rectangles.effective_width(width)
             state.assigned_width = width
             state.remaining = state.rectangles.time_at(width)
             state.begun = True
             state.first_begin = self.current_time
             del self._unstarted[state.name]
+            self._fresh_starts.append(state)
         state.running = True
         state.run_start = self.current_time
         self._running[state.name] = state
@@ -326,7 +425,7 @@ class _Scheduler:
             )
         heapq.heappush(
             self._completion_heap,
-            (self.current_time + state.remaining, state.name),
+            (self.current_time + state.remaining, state.name, state),
         )
 
     def _pause(self, state: _CoreState) -> None:
@@ -363,6 +462,15 @@ class _Scheduler:
                     pending.discard(state.name)
         else:
             self._paused[state.name] = state
+            if self._use_heaps:
+                # A paused core's remaining time and preemption count are
+                # frozen until it resumes, so its Priority-1-vs-2 category
+                # is fixed for the whole pause and one entry suffices.
+                entry = (-state.remaining, self._desc_rank[state.name], state)
+                if state.preemptions >= state.max_preemptions:
+                    heapq.heappush(self._exhausted_heap, entry)
+                else:
+                    heapq.heappush(self._paused_heap, entry)
 
     def _emit_segment(self, state: _CoreState, start: int, end: int) -> None:
         assert state.assigned_width is not None
@@ -387,7 +495,213 @@ class _Scheduler:
         ]
 
     def _select_candidate(self, width_available: int) -> Optional[Tuple[_CoreState, int]]:
-        """Pick the next core to schedule, or ``None`` if nothing fits."""
+        """Pick the next core to schedule, or ``None`` if nothing fits.
+
+        Delegates to the implementation bound at construction time: the
+        maintained-heap path (the default) or the straightforward pool
+        re-scan (``use_candidate_heaps=False``); the two are bit-identical,
+        a property pinned by the randomized tests in
+        ``tests/test_grid_sweep.py``.
+        """
+        return self._select(width_available)
+
+    # -- heap implementation -------------------------------------------
+    def _candidate_eligibility(
+        self, state: _CoreState, width_available: int
+    ) -> Optional[int]:
+        """Width ``state`` would run at, or ``None`` if it cannot run now."""
+        if state.begun:
+            width = state.assigned_width or 0
+            if width > width_available:
+                return None
+        else:
+            width = state.preferred_width
+            if width > self.total_width:
+                width = self.total_width
+            if width > width_available:
+                if (
+                    not self.config.enable_idle_insertion
+                    or width - width_available > self.config.insertion_slack
+                ):
+                    return None
+                width = width_available
+        if not self._no_conflicts and self._conflicts(state):
+            return None
+        return width
+
+    def _select_candidate_heaps(
+        self, width_available: int
+    ) -> Optional[Tuple[_CoreState, int]]:
+        """Heap-backed candidate selection (same result as the scan).
+
+        Each pool's heap yields candidates in decreasing priority order;
+        entries are popped until the first *eligible* one (fits the free
+        wires or can be squeezed in, and conflicts with nothing running),
+        which by construction is the max the scan would have picked.
+        Popped-but-skipped live entries are pushed back; stale entries
+        (core left the pool, or remaining changed) are dropped for good.
+        """
+        # Fast path: with nothing paused (always true in non-preemptive
+        # mode), a candidate can only come from the unstarted pool, and the
+        # narrowest unstarted core (the squeeze heap's top) already tells
+        # us whether *any* candidate is width-eligible.  A core is eligible
+        # only if min(preferred, total) <= available, or -- with idle
+        # insertion -- preferred <= available + slack; both imply
+        # min(total, min_preferred) <= available + slack.
+        if not self._paused:
+            squeeze = self._squeeze_heap
+            while squeeze and squeeze[0][2].begun:
+                heapq.heappop(squeeze)
+            if not squeeze:
+                return None
+            slack = (
+                self.config.insertion_slack
+                if self.config.enable_idle_insertion
+                else 0
+            )
+            if min(self.total_width, squeeze[0][0]) > width_available + slack:
+                return None
+
+        def valid_exhausted(entry: Tuple[int, int, _CoreState]) -> bool:
+            state = entry[2]
+            return (
+                state.begun
+                and not state.running
+                and not state.complete
+                and state.remaining == -entry[0]
+                and state.preemptions >= state.max_preemptions
+            )
+
+        def valid_paused(entry: Tuple[int, int, _CoreState]) -> bool:
+            state = entry[2]
+            return (
+                state.begun
+                and not state.running
+                and not state.complete
+                and state.remaining == -entry[0]
+                and state.preemptions < state.max_preemptions
+            )
+
+        def valid_unstarted(entry: Tuple[int, int, _CoreState]) -> bool:
+            # A core that never began cannot be complete, so one flag check
+            # decides pool membership.
+            return not entry[2].begun
+
+        def live_top(
+            heap: List[Tuple[int, int, _CoreState]], valid
+        ) -> Optional[Tuple[int, int, _CoreState]]:
+            while heap:
+                if valid(heap[0]):
+                    return heap[0]
+                heapq.heappop(heap)
+            return None
+
+        # Priority 1: paused tests that may not be preempted again; max by
+        # (remaining, name), eligible iff their fixed width fits.
+        winner: Optional[Tuple[_CoreState, int]] = None
+        if self._paused:
+            skipped: List[Tuple[int, int, _CoreState]] = []
+            while True:
+                if live_top(self._exhausted_heap, valid_exhausted) is None:
+                    break
+                entry = heapq.heappop(self._exhausted_heap)
+                skipped.append(entry)
+                state = entry[2]
+                if (state.assigned_width or 0) <= width_available and (
+                    self._no_conflicts or not self._conflicts(state)
+                ):
+                    winner = (state, state.assigned_width or 1)
+                    break
+            for entry in skipped:
+                heapq.heappush(self._exhausted_heap, entry)
+            if winner is not None:
+                return winner
+
+        if self.config.strict_priority_resume:
+            # Literal pseudocode ordering: all paused before any unstarted.
+            for heap, valid in (
+                (self._paused_heap, valid_paused),
+                (self._unstarted_heap, valid_unstarted),
+            ):
+                skipped = []
+                while True:
+                    if live_top(heap, valid) is None:
+                        break
+                    entry = heapq.heappop(heap)
+                    skipped.append(entry)
+                    width = self._candidate_eligibility(entry[2], width_available)
+                    if width is not None:
+                        winner = (entry[2], width)
+                        break
+                for entry in skipped:
+                    heapq.heappush(heap, entry)
+                if winner is not None:
+                    return winner
+        else:
+            # Merged Priorities 2/3: pop from whichever heap holds the
+            # globally best (remaining, begun, name); paused (begun) wins
+            # remaining-time ties so seamless resumption is preferred, so
+            # the paused heap is taken whenever its (negated) key is <=.
+            skipped_paused: List[Tuple[int, int, _CoreState]] = []
+            skipped_unstarted: List[Tuple[int, int, _CoreState]] = []
+            # Tops are cached and refreshed only for the heap just popped
+            # (the other heap cannot have changed).
+            paused_top = (
+                live_top(self._paused_heap, valid_paused) if self._paused else None
+            )
+            unstarted_top = live_top(self._unstarted_heap, valid_unstarted)
+            while True:
+                if paused_top is None and unstarted_top is None:
+                    break
+                if unstarted_top is None or (
+                    paused_top is not None and paused_top[0] <= unstarted_top[0]
+                ):
+                    entry = heapq.heappop(self._paused_heap)
+                    skipped_paused.append(entry)
+                    paused_top = live_top(self._paused_heap, valid_paused)
+                else:
+                    entry = heapq.heappop(self._unstarted_heap)
+                    skipped_unstarted.append(entry)
+                    unstarted_top = live_top(self._unstarted_heap, valid_unstarted)
+                width = self._candidate_eligibility(entry[2], width_available)
+                if width is not None:
+                    winner = (entry[2], width)
+                    break
+            for entry in skipped_paused:
+                heapq.heappush(self._paused_heap, entry)
+            for entry in skipped_unstarted:
+                heapq.heappush(self._unstarted_heap, entry)
+            if winner is not None:
+                return winner
+
+        # Idle-time rectangle insertion (Figure 4 lines 13-14): *smallest*
+        # (preferred width, name) over unstarted cores within the slack.
+        if self.config.enable_idle_insertion and width_available >= 1:
+            slack_limit = width_available + self.config.insertion_slack
+            skipped_squeeze: List[Tuple[int, int, _CoreState]] = []
+            while self._squeeze_heap:
+                entry = self._squeeze_heap[0]
+                if entry[2].begun:
+                    heapq.heappop(self._squeeze_heap)
+                    continue
+                if entry[0] > slack_limit:
+                    break  # min-heap: every later entry is wider still
+                heapq.heappop(self._squeeze_heap)
+                skipped_squeeze.append(entry)
+                if self._no_conflicts or not self._conflicts(entry[2]):
+                    winner = (entry[2], width_available)
+                    break
+            for entry in skipped_squeeze:
+                heapq.heappush(self._squeeze_heap, entry)
+            if winner is not None:
+                return winner
+        return None
+
+    # -- reference (re-scanning) implementation ------------------------
+    def _select_candidate_scan(
+        self, width_available: int
+    ) -> Optional[Tuple[_CoreState, int]]:
+        """Re-scanning candidate selection (the pre-heap reference path)."""
         # Priority 1: paused tests that may not be preempted again.
         priority1 = [
             state
@@ -463,7 +777,10 @@ class _Scheduler:
         best: Optional[_CoreState] = None
         best_gain = 0
         best_width = 0
-        for state in self._running.values():
+        # Only tests that *began* at the current instant qualify, so the
+        # scan covers the fresh-start list (reset on every time advance)
+        # instead of the whole running pool.
+        for state in self._fresh_starts:
             if state.first_begin != self.current_time or state.run_start != self.current_time:
                 continue
             if state.preemptions or len(state.segments) > 0:
@@ -478,9 +795,9 @@ class _Scheduler:
             )
             if new_width <= state.assigned_width:
                 continue
-            gain = state.rectangles.time_at(state.assigned_width) - state.rectangles.time_at(
-                new_width
-            )
+            # A test that began this instant has run for zero cycles, so
+            # its remaining time *is* its testing time at the current width.
+            gain = state.remaining - state.rectangles.time_at(new_width)
             if gain > best_gain:
                 best, best_gain, best_width = state, gain, new_width
         if best is None:
@@ -491,7 +808,7 @@ class _Scheduler:
         best.remaining = best.rectangles.time_at(best_width)
         heapq.heappush(
             self._completion_heap,
-            (self.current_time + best.remaining, best.name),
+            (self.current_time + best.remaining, best.name, best),
         )
         return True
 
@@ -500,7 +817,7 @@ class _Scheduler:
             width_available = self._width_available()
             if width_available <= 0:
                 return
-            candidate = self._select_candidate(width_available)
+            candidate = self._select(width_available)
             if candidate is None:
                 # Nothing fits; hand leftover wires to a test that just began.
                 while self._try_width_increase(self._width_available()):
@@ -527,8 +844,7 @@ class _Scheduler:
         # the first live entry is the true minimum.
         heap = self._completion_heap
         while True:
-            finish, name = heap[0]
-            state = self.states[name]
+            finish, _, state = heap[0]
             if (
                 state.running
                 and state.run_start is not None
@@ -538,7 +854,32 @@ class _Scheduler:
             heapq.heappop(heap)
         next_time = finish
         assert next_time > self.current_time
+        if self.makespan_limit is not None and next_time > self.makespan_limit:
+            # Tests remain incomplete past the limit, so the final makespan
+            # is strictly worse than the incumbent: abandon the run.  The
+            # strict comparison keeps a run that *ties* the limit alive,
+            # which makes pruning safe in any evaluation order.
+            raise MakespanLimitExceeded(
+                f"makespan exceeds {self.makespan_limit} at time {next_time}"
+            )
         self.current_time = next_time
+        self._fresh_starts.clear()
+        if self._no_preemption:
+            # No test may ever be paused mid-run, so the only state changes
+            # are the completions at the event time -- read them off the
+            # heap instead of scanning the whole running pool.
+            while heap:
+                finish, _, state = heap[0]
+                if finish > next_time:
+                    break
+                heapq.heappop(heap)
+                if (
+                    state.running
+                    and state.run_start is not None
+                    and state.run_start + state.remaining == finish
+                ):
+                    self._pause(state)  # records segment and marks complete
+            return
         for state in list(self._running.values()):
             finish = (state.run_start or 0) + state.remaining
             if finish <= self.current_time:
@@ -553,6 +894,7 @@ class _Scheduler:
         total_cores = len(self.states)
         safety_limit = 10 * total_cores * (max(s.max_preemptions for s in self.states.values()) + 2)
         iterations = 0
+        check_floor = self._no_preemption and self.makespan_limit is not None
         while self._incomplete:
             iterations += 1
             if iterations > max(safety_limit, 1000):
@@ -560,6 +902,19 @@ class _Scheduler:
                     "scheduler failed to converge; this indicates an internal error"
                 )
             self._assignment_phase()
+            if check_floor:
+                # Without preemption a started test runs to completion at
+                # its now-final width, so each fresh start pins a floor on
+                # the makespan; a floor beyond the incumbent ends the run
+                # immediately (often at time 0, when a bad grid point gives
+                # the bottleneck core too narrow a preferred width).
+                limit = self.makespan_limit
+                for state in self._fresh_starts:
+                    if self.current_time + state.remaining > limit:
+                        raise MakespanLimitExceeded(
+                            f"core {state.name!r} cannot finish before "
+                            f"{self.current_time + state.remaining} > {limit}"
+                        )
             if not self._incomplete:
                 break
             self._advance()
@@ -579,6 +934,9 @@ def run_paper_scheduler(
     constraints: Optional[ConstraintSet] = None,
     config: Optional[SchedulerConfig] = None,
     rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
+    *,
+    preferred_widths: Optional[Mapping[str, int]] = None,
+    makespan_limit: Optional[int] = None,
 ) -> TestSchedule:
     """Schedule all core tests of ``soc`` on a TAM of ``total_width`` wires.
 
@@ -604,11 +962,29 @@ def run_paper_scheduler(
         ``max_width == config.max_core_width``).  A solver
         :class:`~repro.solvers.Session` passes its shared cache here so
         repeated solves stop recomputing wrapper designs.
+    preferred_widths:
+        Optional precomputed per-core preferred widths (as produced by
+        ``RectangleSet.preferred_width`` at this config's percent/delta and
+        width cap).  The grid sweep passes these so deduplicated grid
+        points skip the per-run recomputation.
+    makespan_limit:
+        Optional upper bound: once the event clock moves strictly past it
+        the run raises :class:`MakespanLimitExceeded` instead of finishing.
+        The grid sweep passes its incumbent best makespan here to prune
+        runs that can no longer win.
     """
     constraints = constraints or ConstraintSet.unconstrained()
     config = config or SchedulerConfig()
     constraints.validate_for(soc)
-    scheduler = _Scheduler(soc, total_width, constraints, config, rectangle_sets)
+    scheduler = _Scheduler(
+        soc,
+        total_width,
+        constraints,
+        config,
+        rectangle_sets,
+        preferred_widths=preferred_widths,
+        makespan_limit=makespan_limit,
+    )
     return scheduler.run()
 
 
@@ -621,6 +997,7 @@ def run_best_schedule(
     slacks: Sequence[int] = (0, 3, 6),
     config: Optional[SchedulerConfig] = None,
     rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
+    workers: int = 0,
 ) -> TestSchedule:
     """Run the scheduler over a (``percent``, ``delta``, ``slack``) grid, keep the best.
 
@@ -630,25 +1007,29 @@ def run_best_schedule(
     helper reproduces that experimental protocol with a configurable grid.
     The default grid is slightly wider than the paper's because the synthetic
     Philips stand-ins reward smaller preferred widths at narrow TAMs.
+
+    Since PR 4 this is a thin wrapper over
+    :func:`repro.core.grid_sweep.run_grid_sweep`, which deduplicates grid
+    points that induce identical per-core preferred-width vectors, prunes
+    runs that cannot beat the incumbent, stops early when the Table 1 lower
+    bound is met and can fan the surviving runs out over ``workers``
+    processes -- all bit-identical to the straightforward triple loop (kept
+    as :func:`repro.core.grid_sweep.run_best_schedule_reference`).  Use
+    ``run_grid_sweep`` directly to also learn *which* grid point won.
     """
-    base = config or SchedulerConfig()
-    best: Optional[TestSchedule] = None
-    for percent in percents:
-        for delta in deltas:
-            for slack in slacks:
-                candidate = run_paper_scheduler(
-                    soc,
-                    total_width,
-                    constraints=constraints,
-                    config=replace(
-                        base, percent=percent, delta=delta, insertion_slack=slack
-                    ),
-                    rectangle_sets=rectangle_sets,
-                )
-                if best is None or candidate.makespan < best.makespan:
-                    best = candidate
-    assert best is not None
-    return best
+    from repro.core.grid_sweep import run_grid_sweep
+
+    return run_grid_sweep(
+        soc,
+        total_width,
+        constraints=constraints,
+        percents=percents,
+        deltas=deltas,
+        slacks=slacks,
+        config=config,
+        rectangle_sets=rectangle_sets,
+        workers=workers,
+    ).schedule
 
 
 def _deprecated(old: str, new: str) -> None:

@@ -25,6 +25,7 @@ from repro.engine.api import (
     expand_config_jobs,
     mode_constraint_sets,
     parallel_tam_sweep,
+    parallel_tam_sweep_results,
     power_budget,
     preemption_limits,
     run_grid,
@@ -48,6 +49,7 @@ __all__ = [
     "prime_context_caches",
     "best_schedule_grid",
     "parallel_tam_sweep",
+    "parallel_tam_sweep_results",
     "config_grid",
     "expand_config_jobs",
     "mode_constraint_sets",

@@ -171,6 +171,7 @@ def parallel_tam_sweep(
     workers: int = 0,
     monotone: bool = True,
     solver: str = "paper",
+    solver_options: Optional[Dict[str, Any]] = None,
 ) -> TamSweep:
     """Schedule the SOC at every width and collect ``T``/``D``; engine-backed.
 
@@ -179,7 +180,37 @@ def parallel_tam_sweep(
     all schedules complete) for every worker count.  ``solver`` may name
     any registered schedule-producing solver (see :mod:`repro.solvers`), so
     the Figure 9 curves can be regenerated for a baseline as easily as for
-    the paper scheduler.
+    the paper scheduler; ``solver_options`` (e.g. a trimmed grid for the
+    ``best`` solver) travel with every job.
+    """
+    sweep, _ = parallel_tam_sweep_results(
+        soc,
+        widths,
+        constraints=constraints,
+        config=config,
+        workers=workers,
+        monotone=monotone,
+        solver=solver,
+        solver_options=solver_options,
+    )
+    return sweep
+
+
+def parallel_tam_sweep_results(
+    soc: Soc,
+    widths: Sequence[int],
+    constraints: Optional[ConstraintSet] = None,
+    config: Optional[SchedulerConfig] = None,
+    workers: int = 0,
+    monotone: bool = True,
+    solver: str = "paper",
+    solver_options: Optional[Dict[str, Any]] = None,
+) -> Tuple[TamSweep, SweepResults]:
+    """Like :func:`parallel_tam_sweep`, but also return the raw job results.
+
+    The :class:`~repro.engine.results.SweepResults` carry the per-width
+    solver metadata (e.g. the winning grid point of each ``best`` sweep),
+    which the reduced :class:`~repro.core.data_volume.TamSweep` cannot.
     """
     ordered = normalize_sweep_widths(widths, monotone)
     named = {"constraints": constraints} if constraints is not None else {}
@@ -192,14 +223,16 @@ def parallel_tam_sweep(
             config=config or SchedulerConfig(),
             constraints="constraints" if constraints is not None else None,
             solver=solver,
+            options=tuple(sorted((solver_options or {}).items())),
             group=(soc.name, "tam_sweep"),
         )
         for index, width in enumerate(ordered)
     ]
     results = run_jobs(jobs, context, workers=workers)
-    return build_tam_sweep(
+    sweep = build_tam_sweep(
         soc.name, ordered, [result.makespan for result in results], monotone
     )
+    return sweep, results
 
 
 def run_grid(

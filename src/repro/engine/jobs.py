@@ -52,6 +52,10 @@ class ScheduleJob:
         Registry name of the solver to run (see :mod:`repro.solvers`);
         defaults to the paper scheduler.  The solver must produce a
         schedule (bound-only solvers cannot be engine jobs).
+    options:
+        Solver-specific options, as a mapping or ``(name, value)`` pairs
+        (normalised to name-sorted pairs so equal option sets compare
+        equal); e.g. a trimmed ``percents`` grid for the ``best`` solver.
     group:
         Aggregation key: results sharing a group compete for "best of
         group" (e.g. ``(soc, width, mode)`` for a Table 1 cell).
@@ -66,6 +70,7 @@ class ScheduleJob:
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     constraints: Optional[str] = None
     solver: str = "paper"
+    options: Tuple[Tuple[str, Any], ...] = ()
     group: Tuple[Any, ...] = ()
     tags: Tuple[Tuple[str, Any], ...] = ()
 
@@ -76,10 +81,20 @@ class ScheduleJob:
             raise EngineError(f"TAM width must be positive, got {self.width}")
         if not self.solver:
             raise EngineError("a job must name a solver")
+        options = self.options
+        if isinstance(options, Mapping):
+            options = tuple(sorted(options.items()))
+        else:
+            options = tuple(sorted((str(name), value) for name, value in options))
+        object.__setattr__(self, "options", options)
         object.__setattr__(self, "group", tuple(self.group))
         object.__setattr__(
             self, "tags", tuple((str(name), value) for name, value in self.tags)
         )
+
+    def solver_options(self) -> dict:
+        """The options pairs as the dict a :class:`ScheduleRequest` takes."""
+        return dict(self.options)
 
     def tag(self, name: str, default: Any = None) -> Any:
         """Look up one tag value by name."""
@@ -93,17 +108,28 @@ class ScheduleJob:
 class JobResult:
     """The outcome of executing one :class:`ScheduleJob`.
 
-    ``wall_time`` and ``worker`` describe *where and how long* the job ran
-    and are excluded from equality so that a serial and a parallel run of
-    the same grid compare equal record-for-record.
+    ``metadata`` carries the solver's result metadata (e.g. the winning
+    grid point of a ``best`` sweep); it is deterministic and participates
+    in equality.  ``wall_time`` and ``worker`` describe *where and how
+    long* the job ran and are excluded from equality so that a serial and
+    a parallel run of the same grid compare equal record-for-record.
     """
 
     job: ScheduleJob
     makespan: int
     data_volume: int
     schedule: TestSchedule
+    metadata: Tuple[Tuple[str, Any], ...] = ()
     wall_time: float = field(default=0.0, compare=False)
     worker: str = field(default="serial", compare=False)
+
+    def __post_init__(self) -> None:
+        metadata = self.metadata
+        if isinstance(metadata, Mapping):
+            metadata = tuple(sorted(metadata.items()))
+        else:
+            metadata = tuple(sorted((str(name), value) for name, value in metadata))
+        object.__setattr__(self, "metadata", metadata)
 
 
 @dataclass(frozen=True)

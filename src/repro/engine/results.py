@@ -121,9 +121,23 @@ class SweepResults:
                     names.append(name)
         return names
 
+    def _metadata_names(self) -> List[str]:
+        """Solver-metadata columns (e.g. the ``best`` sweep's winner point).
+
+        Only scalar values are exported; names are ordered by first
+        appearance, after the tag columns.
+        """
+        names: List[str] = []
+        for result in self.results:
+            for name, value in result.metadata:
+                if name not in names and isinstance(value, (str, int, float, bool)):
+                    names.append(name)
+        return names
+
     def to_records(self) -> List[Dict[str, Any]]:
         """Flat dict records (one per job), ready for CSV/JSON export."""
         tag_names = self._tag_names()
+        metadata_names = self._metadata_names()
         records = []
         for result in self.results:
             job = result.job
@@ -145,12 +159,16 @@ class SweepResults:
             }
             for name in tag_names:
                 record[name] = job.tag(name, default="")
+            if metadata_names:
+                metadata = dict(result.metadata)
+                for name in metadata_names:
+                    record[name] = metadata.get(name, "")
             records.append(record)
         return records
 
     def to_csv(self) -> str:
         """Serialise the records to CSV text."""
-        headers = list(_BASE_FIELDS) + self._tag_names()
+        headers = list(_BASE_FIELDS) + self._tag_names() + self._metadata_names()
         buffer = io.StringIO()
         writer = csv.DictWriter(buffer, fieldnames=headers, lineterminator="\n")
         writer.writeheader()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Iterable, List, Optional, Sequence
 
+from repro.core.grid_sweep import preferred_pool_context
 from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
 from repro.engine.results import SweepResults
 from repro.solvers.request import ScheduleRequest
@@ -49,6 +50,7 @@ def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
             solver=job.solver,
             config=job.config,
             constraints=constraints,
+            options=job.solver_options(),
         )
     )
     if result.schedule is None:
@@ -61,6 +63,7 @@ def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
         makespan=result.makespan,
         data_volume=result.data_volume,
         schedule=result.schedule,
+        metadata=tuple(sorted(result.metadata.items())),
         wall_time=result.wall_time,
         worker=multiprocessing.current_process().name,
     )
@@ -93,14 +96,6 @@ def _init_worker(context: EngineContext, max_widths: Sequence[int]) -> None:
 def _run_in_worker(job: ScheduleJob) -> JobResult:
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
     return execute_job(job, _WORKER_CONTEXT)
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer ``fork`` (cheap start-up, inherits warm caches) when available."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
 
 
 def _run_serial(jobs: Sequence[ScheduleJob], context: EngineContext) -> SweepResults:
@@ -148,7 +143,7 @@ def run_jobs(
     if chunksize is None:
         chunksize = max(1, len(ordered) // (effective * 4))
     try:
-        pool = _pool_context().Pool(
+        pool = preferred_pool_context().Pool(
             processes=effective,
             initializer=_init_worker,
             initargs=(context, max_widths),

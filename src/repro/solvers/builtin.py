@@ -25,20 +25,26 @@ from typing import Tuple
 from repro.baselines.exact import run_exhaustive
 from repro.baselines.fixed_width import run_fixed_width
 from repro.baselines.shelf import run_shelf
+from repro.core.grid_sweep import (
+    DEFAULT_DELTAS,
+    DEFAULT_PERCENTS,
+    DEFAULT_SLACKS,
+    run_grid_sweep,
+)
 from repro.core.lower_bounds import (
     area_lower_bound,
     bottleneck_lower_bound,
 )
-from repro.core.scheduler import run_best_schedule, run_paper_scheduler
+from repro.core.scheduler import run_paper_scheduler
 from repro.solvers.base import Solver, SolverCapabilities
 from repro.solvers.registry import register_solver
 from repro.solvers.request import ScheduleRequest, ScheduleResult
 from repro.wrapper.pareto import DEFAULT_MAX_WIDTH
 
 # The default heuristic grid of the "best" solver (the paper's protocol).
-BEST_PERCENTS: Tuple[float, ...] = (1, 5, 10, 25, 40, 60, 75)
-BEST_DELTAS: Tuple[int, ...] = (0, 2, 4)
-BEST_SLACKS: Tuple[int, ...] = (0, 3, 6)
+BEST_PERCENTS: Tuple[float, ...] = DEFAULT_PERCENTS
+BEST_DELTAS: Tuple[int, ...] = DEFAULT_DELTAS
+BEST_SLACKS: Tuple[int, ...] = DEFAULT_SLACKS
 
 
 @register_solver(
@@ -84,16 +90,29 @@ class PaperSolver(Solver):
 class BestSolver(Solver):
     """Best paper-solver schedule over a heuristic-parameter grid.
 
+    Runs the deduplicated, pruned, optionally parallel grid sweep of
+    :mod:`repro.core.grid_sweep` and records the winning grid point, the
+    dedup statistics and the Table 1 lower bound in the result metadata.
+
     Options: ``percents``, ``deltas``, ``slacks`` (sequences overriding the
-    default grid).
+    default grid) and ``workers`` (process count for the internal fan-out;
+    ``None`` falls back to the owning session's default, results are
+    bit-identical for every value).
     """
 
     def solve(self, request: ScheduleRequest) -> ScheduleResult:
         options = self.options(
-            request, percents=BEST_PERCENTS, deltas=BEST_DELTAS, slacks=BEST_SLACKS
+            request,
+            percents=BEST_PERCENTS,
+            deltas=BEST_DELTAS,
+            slacks=BEST_SLACKS,
+            workers=None,
         )
+        workers = options["workers"]
+        if workers is None:
+            workers = self.session.workers
         sets = self.rectangle_sets(request.soc, request.config.max_core_width)
-        schedule = run_best_schedule(
+        outcome = run_grid_sweep(
             request.soc,
             request.total_width,
             constraints=request.constraints,
@@ -102,16 +121,9 @@ class BestSolver(Solver):
             slacks=tuple(options["slacks"]),
             config=request.config,
             rectangle_sets=sets,
+            workers=int(workers),
         )
-        return self.schedule_result(
-            request,
-            schedule,
-            metadata={
-                "grid_points": len(tuple(options["percents"]))
-                * len(tuple(options["deltas"]))
-                * len(tuple(options["slacks"]))
-            },
-        )
+        return self.schedule_result(request, outcome.schedule, metadata=outcome.metadata())
 
 
 @register_solver(

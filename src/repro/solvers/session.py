@@ -57,13 +57,24 @@ class Session:
         Structurally validate every schedule a solver returns (cheap; on by
         default).  Constraint checks are additionally applied for solvers
         whose capabilities declare constraint support.
+    workers:
+        Default internal fan-out for solvers that can parallelise one solve
+        (currently the ``best`` solver's grid sweep).  ``0`` (the default)
+        keeps every solve serial; a request's ``workers`` option overrides
+        it per solve.  Results are bit-identical for every value.
     """
 
     def __init__(
-        self, registry: Optional[SolverRegistry] = None, validate: bool = True
+        self,
+        registry: Optional[SolverRegistry] = None,
+        validate: bool = True,
+        workers: int = 0,
     ) -> None:
+        if workers < 0:
+            raise SolverError(f"workers must be non-negative, got {workers}")
         self._registry = registry if registry is not None else default_registry()
         self._validate = validate
+        self._workers = int(workers)
         self._solvers: Dict[str, BaseSolver] = {}
         self._rectangle_cache: Dict[Tuple[Soc, int], Dict[str, RectangleSet]] = {}
         self._hits = 0
@@ -73,6 +84,11 @@ class Session:
     def registry(self) -> SolverRegistry:
         """The registry this session resolves solver names against."""
         return self._registry
+
+    @property
+    def workers(self) -> int:
+        """Default internal fan-out for solvers that support one (0 = serial)."""
+        return self._workers
 
     # ------------------------------------------------------------------
     # Shared Pareto rectangle cache

@@ -1,0 +1,268 @@
+"""Property and unit tests for the deduplicated best-over-grid sweep.
+
+Two bit-identity contracts are pinned here on randomized SOCs and configs:
+
+* the heap-based ``_select_candidate`` (the default) produces exactly the
+  schedules of the straightforward pool re-scan it replaced (reachable via
+  ``SchedulerConfig(use_candidate_heaps=False)``), across non-preemptive,
+  preemptive and power-constrained scheduling;
+* the deduplicated / pruned / parallel grid sweep
+  (:func:`repro.core.grid_sweep.run_grid_sweep`) returns exactly the
+  schedule *and winning grid point* of the straightforward serial triple
+  loop (:func:`repro.core.grid_sweep.run_best_schedule_reference`), for
+  every worker count.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.perf import schedule_fingerprint
+from repro.core.grid_sweep import (
+    GridPoint,
+    dedupe_grid,
+    run_best_schedule_reference,
+    run_grid_sweep,
+)
+from repro.core.rectangles import build_rectangle_sets
+from repro.core.scheduler import (
+    MakespanLimitExceeded,
+    SchedulerConfig,
+    run_paper_scheduler,
+)
+from repro.soc.benchmarks import get_benchmark
+from repro.soc.constraints import ConstraintSet
+from repro.soc.generator import GeneratorProfile, generate_soc
+from repro.soc.soc import Soc
+from repro.solvers import ScheduleRequest, Session
+
+# Small profile so each randomized case schedules in milliseconds.
+PROFILE = GeneratorProfile(
+    min_cores=4,
+    max_cores=9,
+    max_scan_cells=2500,
+    max_scan_chains=12,
+    bist_fraction=0.2,
+)
+
+SMALL_GRID = dict(percents=(1, 10, 40), deltas=(0, 2), slacks=(0, 3))
+
+
+def random_constraints(soc: Soc, rng: random.Random) -> ConstraintSet:
+    """A random mix of preemption budgets, power caps and precedence."""
+    names = list(soc.core_names)
+    limits = {
+        name: rng.randint(1, 3) for name in rng.sample(names, len(names) // 2)
+    }
+    power_max = None
+    if rng.random() < 0.5:
+        power_max = 1.2 * max(core.test_power for core in soc.cores)
+    precedence = ()
+    if len(names) >= 2 and rng.random() < 0.5:
+        before, after = rng.sample(names, 2)
+        precedence = ((before, after),)
+    return ConstraintSet.for_soc(
+        soc,
+        precedence=precedence,
+        power_max=power_max,
+        max_preemptions=limits,
+        default_preemptions=rng.choice((0, 0, 2)),
+    )
+
+
+def random_config(rng: random.Random, **overrides) -> SchedulerConfig:
+    return SchedulerConfig(
+        percent=rng.choice((1, 5, 25, 60)),
+        delta=rng.choice((0, 2, 4)),
+        insertion_slack=rng.choice((0, 3, 6)),
+        strict_priority_resume=rng.random() < 0.3,
+        **overrides,
+    )
+
+
+class TestHeapSelectCandidate:
+    """Heap-based selection is bit-identical to the reference scan."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_socs_and_constraints(self, seed):
+        rng = random.Random(seed)
+        soc = generate_soc(seed, name=f"heap-{seed}", profile=PROFILE)
+        constraints = random_constraints(soc, rng)
+        config = random_config(rng)
+        for width in (13, 32):
+            heap_schedule = run_paper_scheduler(
+                soc, width, constraints=constraints, config=config
+            )
+            scan_schedule = run_paper_scheduler(
+                soc,
+                width,
+                constraints=constraints,
+                config=replace(config, use_candidate_heaps=False),
+            )
+            assert schedule_fingerprint(heap_schedule) == schedule_fingerprint(
+                scan_schedule
+            )
+
+    @pytest.mark.parametrize("soc_name", ["d695", "p93791"])
+    def test_benchmarks_preemptive(self, soc_name):
+        soc = get_benchmark(soc_name)
+        constraints = ConstraintSet(default_preemptions=2)
+        for width in (16, 64):
+            heap_schedule = run_paper_scheduler(soc, width, constraints=constraints)
+            scan_schedule = run_paper_scheduler(
+                soc,
+                width,
+                constraints=constraints,
+                config=SchedulerConfig(use_candidate_heaps=False),
+            )
+            assert schedule_fingerprint(heap_schedule) == schedule_fingerprint(
+                scan_schedule
+            )
+
+
+class TestGridSweep:
+    """The batched sweep matches the serial triple loop, winner included."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_socs_match_reference(self, seed):
+        rng = random.Random(1000 + seed)
+        soc = generate_soc(1000 + seed, name=f"sweep-{seed}", profile=PROFILE)
+        constraints = random_constraints(soc, rng) if rng.random() < 0.5 else None
+        width = rng.choice((11, 24, 40))
+        reference_schedule, reference_point = run_best_schedule_reference(
+            soc, width, constraints=constraints, **SMALL_GRID
+        )
+        outcome = run_grid_sweep(soc, width, constraints=constraints, **SMALL_GRID)
+        assert outcome.winner == reference_point
+        assert schedule_fingerprint(outcome.schedule) == schedule_fingerprint(
+            reference_schedule
+        )
+        assert outcome.makespan == reference_schedule.makespan
+        assert outcome.grid_points == 12
+        assert 1 <= outcome.unique_runs <= outcome.grid_points
+        assert outcome.makespan >= outcome.lower_bound
+        assert outcome.early_exit == (outcome.makespan <= outcome.lower_bound)
+
+    @pytest.mark.parametrize("workers", [0, 1, 2, 5])
+    def test_worker_counts_bit_identical(self, workers):
+        soc = get_benchmark("p93791")
+        serial = run_grid_sweep(soc, 32)
+        outcome = run_grid_sweep(soc, 32, workers=workers)
+        assert outcome == serial  # schedule, winner and statistics
+
+    def test_full_default_grid_matches_reference_on_p93791(self):
+        soc = get_benchmark("p93791")
+        sets = build_rectangle_sets(soc, 64)
+        reference_schedule, reference_point = run_best_schedule_reference(
+            soc, 64, rectangle_sets=sets, config=SchedulerConfig(use_candidate_heaps=False)
+        )
+        outcome = run_grid_sweep(soc, 64, rectangle_sets=sets)
+        assert outcome.winner == reference_point
+        assert schedule_fingerprint(outcome.schedule) == schedule_fingerprint(
+            reference_schedule
+        )
+
+    def test_dedup_collapses_identical_signatures(self):
+        soc = get_benchmark("p93791")
+        config = SchedulerConfig()
+        sets = build_rectangle_sets(soc, config.max_core_width)
+        runs = dedupe_grid(
+            soc, 64, config, sets, (1, 5, 10, 25, 40, 60, 75), (0, 2, 4), (0, 3, 6)
+        )
+        assert len(runs) < 63  # narrow-percent points snap to shared vectors
+        assert sum(run.duplicates for run in runs) == 63
+        indexes = [run.index for run in runs]
+        assert indexes == sorted(indexes)
+        assert all(len(run.preferred_widths) == len(soc.cores) for run in runs)
+
+    def test_dedup_ignores_slack_without_idle_insertion(self):
+        soc = get_benchmark("d695")
+        config = SchedulerConfig(enable_idle_insertion=False)
+        sets = build_rectangle_sets(soc, config.max_core_width)
+        runs = dedupe_grid(soc, 32, config, sets, (1, 25), (0,), (0, 3, 6))
+        with_insertion = dedupe_grid(
+            soc, 32, SchedulerConfig(), sets, (1, 25), (0,), (0, 3, 6)
+        )
+        assert len(runs) <= 2  # slack dropped from the signature
+        assert len(runs) < len(with_insertion)
+
+    def test_early_exit_when_bound_met(self):
+        # A single-core SOC always meets the bottleneck bound.
+        soc = generate_soc(7, name="single", profile=GeneratorProfile(min_cores=1, max_cores=1))
+        outcome = run_grid_sweep(soc, 24)
+        assert outcome.early_exit
+        assert outcome.makespan == outcome.lower_bound
+
+    def test_makespan_limit_aborts_run(self):
+        soc = get_benchmark("d695")
+        with pytest.raises(MakespanLimitExceeded):
+            run_paper_scheduler(soc, 32, makespan_limit=1)
+
+    def test_makespan_limit_keeps_ties_alive(self):
+        # A limit equal to the true makespan must NOT abort (strict rule).
+        soc = get_benchmark("d695")
+        schedule = run_paper_scheduler(soc, 32)
+        bounded = run_paper_scheduler(soc, 32, makespan_limit=schedule.makespan)
+        assert schedule_fingerprint(bounded) == schedule_fingerprint(schedule)
+
+
+class TestBestSolverMetadata:
+    """The ``best`` solver surfaces the sweep provenance."""
+
+    def test_winner_point_in_result_metadata(self):
+        session = Session()
+        result = session.solve(
+            ScheduleRequest(
+                soc=get_benchmark("d695"),
+                total_width=32,
+                solver="best",
+                options=SMALL_GRID,
+            )
+        )
+        metadata = result.metadata
+        assert metadata["grid_points"] == 12
+        assert 1 <= metadata["unique_runs"] <= 12
+        winner = GridPoint(
+            percent=metadata["winner_percent"],
+            delta=metadata["winner_delta"],
+            slack=metadata["winner_slack"],
+        )
+        assert winner.percent in SMALL_GRID["percents"]
+        assert winner.delta in SMALL_GRID["deltas"]
+        assert winner.slack in SMALL_GRID["slacks"]
+        assert metadata["lower_bound"] >= 1
+        assert isinstance(metadata["early_exit"], bool)
+
+    def test_workers_option_is_bit_identical(self):
+        soc = get_benchmark("d695")
+        session = Session()
+        serial = session.solve(
+            ScheduleRequest(soc=soc, total_width=32, solver="best", options=SMALL_GRID)
+        )
+        parallel = session.solve(
+            ScheduleRequest(
+                soc=soc,
+                total_width=32,
+                solver="best",
+                options={**SMALL_GRID, "workers": 2},
+            )
+        )
+        assert parallel.makespan == serial.makespan
+        assert parallel.metadata == serial.metadata
+        assert schedule_fingerprint(parallel.schedule) == schedule_fingerprint(
+            serial.schedule
+        )
+
+    def test_session_workers_default_applies(self):
+        soc = get_benchmark("d695")
+        serial = Session().solve(
+            ScheduleRequest(soc=soc, total_width=16, solver="best", options=SMALL_GRID)
+        )
+        pooled = Session(workers=2).solve(
+            ScheduleRequest(soc=soc, total_width=16, solver="best", options=SMALL_GRID)
+        )
+        assert pooled.makespan == serial.makespan
+        assert schedule_fingerprint(pooled.schedule) == schedule_fingerprint(
+            serial.schedule
+        )

@@ -46,6 +46,33 @@ GOLDEN = {
         969351, "c44f14864cd950fc3c963d019b698b329af8766c3d628b21ee39371262799572"),
     ("p93791", "preemptive", 64): (
         482662, "ab1ca521100b1a8b5d30b58c32d6802005c2bc6f80fab5d8a750dee4a7544e9b"),
+    # The remaining ITC'02 stand-ins, recorded when PR 4 scaled the solver
+    # matrix to the full registered set (values from the PR 3 scheduler,
+    # which PR 4's grid-sweep and heap-selection work must not change).
+    ("p22810", "nonpreemptive", 16): (
+        486402, "1d308f873d42da63b44f9359e33116670a5f42d9d6c2abf760a5bcaa9832ac88"),
+    ("p22810", "nonpreemptive", 32): (
+        258087, "4db707b4860ce28161ecfb52821b309f812a3567870e9bbddfc2cd1d5ed56200"),
+    ("p22810", "nonpreemptive", 64): (
+        123975, "753cae5ed5169ed3333f7496ba18b16e6ceeba1d913dd8d796d6323da85fec2b"),
+    ("p22810", "preemptive", 16): (
+        484138, "7db928df18f9569530530288e4b248fedd9d28fbe9b36c616b6e4600ccc77703"),
+    ("p22810", "preemptive", 32): (
+        234137, "6ee35c5ca8b381c8ef7c8658458d5a750d41954c5639b7203ee4d1bf23143775"),
+    ("p22810", "preemptive", 64): (
+        114864, "2f7cf97e9b42326ee7e5dc6919a9f2fd0d9cf741a95e8220bd4a0710a9e5d81b"),
+    ("p34392", "nonpreemptive", 16): (
+        1117662, "ebc71f67db9cbfcce7934eb41e981166cc01dc232fa0e4f1f15bc6bbd199a485"),
+    ("p34392", "nonpreemptive", 32): (
+        624492, "9813ef44288c7756773de27ccfef19b3030d2fdb92ea44807b55c293bcb93b51"),
+    ("p34392", "nonpreemptive", 64): (
+        544577, "429935aa120bcef0b90f203cfd77451fd29c7abc3ebd974ef0f615fd73d490b8"),
+    ("p34392", "preemptive", 16): (
+        1139262, "6d73db67f3e54d0e12184c317a0414486906ef54f235cf0ffa0331443cd3f462"),
+    ("p34392", "preemptive", 32): (
+        624492, "e7152bb8aba95c3e16df6699914b79cd79b20db4d32fdcf8ba8cbe578b1812c9"),
+    ("p34392", "preemptive", 64): (
+        544577, "e566fe6b746c33a37815edb128f285285e2ec8d765c09ecc2ae295021bd7c0e5"),
 }
 
 MODES = {
