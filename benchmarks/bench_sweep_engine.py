@@ -52,9 +52,11 @@ def _timed(soc, workers):
 def test_sweep_engine_speedup(results_dir, soc_name):
     soc = get_benchmark(soc_name)
     # Warm the parent-process Pareto caches so neither timed run pays the
-    # one-off curve construction (workers warm their own via the pool
-    # initializer, which is part of the parallel cost being measured).
-    prime_context_caches(EngineContext.for_soc(soc), (DEFAULT_MAX_WIDTH,))
+    # one-off curve construction (fork workers inherit these; the pool
+    # spin-up itself is part of the parallel cost being measured).
+    prime_context_caches(
+        EngineContext.for_soc(soc), {(soc.name, DEFAULT_MAX_WIDTH)}
+    )
 
     serial_rows, serial_time = _timed(soc, workers=0)
     parallel_rows, parallel_time = _timed(soc, workers=WORKERS)

@@ -12,10 +12,14 @@ evaluation section (see the per-experiment index in DESIGN.md):
 * :func:`figure9_curves` -- Figure 9: SOC-level ``T(W)``, ``D(W)`` and the
   cost curves ``C(W)`` for chosen ``alpha`` values.
 
-All drivers run on the sweep engine (:mod:`repro.engine`): the full
-width x mode x (percent, delta, slack) grid is expanded into independent
-jobs up front and executed serially or across a worker pool, with results
-guaranteed identical for every ``workers`` value.
+All drivers run on the sweep engine (:mod:`repro.engine`).  Table 1
+submits one ``best`` job per (width, mode) cell, so every cell runs the
+``best`` solver's deduplicated, incumbent-pruned, early-exiting grid
+sweep -- a fraction of the naive width x mode x (percent, delta, slack)
+expansion's scheduler work -- while producing byte-identical rows.  The
+flat executor picks the parallel granularity by shape (whole ``best``
+jobs when the cell count can fill the pool, per-cell grid-run tasks
+otherwise); results are guaranteed identical for every ``workers`` value.
 """
 
 from __future__ import annotations
@@ -33,14 +37,12 @@ from repro.engine.api import (
     POWER_BUDGET_FACTOR,
     PREEMPTION_LIMIT,
     SCHEDULER_MODES,
-    config_grid,
-    expand_config_jobs,
     mode_constraint_sets,
     parallel_tam_sweep,
     power_budget,
     preemption_limits,
 )
-from repro.engine.jobs import EngineContext
+from repro.engine.jobs import EngineContext, ScheduleJob
 from repro.engine.runner import run_jobs
 from repro.soc.core import Core
 from repro.soc.soc import Soc
@@ -49,6 +51,7 @@ from repro.wrapper.pareto import DEFAULT_MAX_WIDTH, testing_time_curve
 __all__ = [
     "TABLE1_WIDTHS",
     "TABLE2_ALPHAS",
+    "TABLE2_WIDTHS",
     "PREEMPTION_LIMIT",
     "POWER_BUDGET_FACTOR",
     "Table1Row",
@@ -69,6 +72,10 @@ TABLE1_WIDTHS: Dict[str, Tuple[int, ...]] = {
     "p34392": (16, 24, 28, 32),
     "p93791": (16, 32, 48, 64),
 }
+
+# The TAM width range of the Table 2 effective-width study (also the
+# width axis of the bench suite's table2_best phase).
+TABLE2_WIDTHS: Tuple[int, ...] = tuple(range(8, 65, 2))
 
 # The alpha values Table 2 reports for each SOC.
 TABLE2_ALPHAS: Dict[str, Tuple[float, ...]] = {
@@ -135,9 +142,17 @@ def run_table1(
     best over the (``percent``, ``delta``, ``slack``) grid, exactly as the
     paper tabulates the best result over its parameter sweep.
 
-    The whole width x mode x parameter grid is expanded into one job list
-    and run on the sweep engine; ``workers > 1`` executes it on a process
-    pool with results identical to the serial path.
+    Each (width, mode) cell is one ``best``-solver job, i.e. one
+    deduplicated grid sweep with incumbent pruning and the Table 1
+    lower-bound early exit, so the protocol runs a fraction of the naive
+    grid expansion's scheduler work, serially or in parallel (the flat
+    executor dispatches cells whole when there are enough of them to fill
+    the pool, and explodes them into grid-run tasks when there are not).
+    Rows are byte-identical to the historical per-point expansion for
+    every ``workers`` value: the
+    ``best`` sweep keeps the first grid point (percent outer, delta
+    middle, slack inner) achieving the minimum makespan, exactly like the
+    engine's ``(makespan, job index)`` aggregation did.
     """
     if widths is None:
         widths = TABLE1_WIDTHS.get(soc.name, (16, 32, 48, 64))
@@ -146,20 +161,25 @@ def run_table1(
         soc, preemption_limit=preemption_limit, power_factor=power_factor
     )
     context = EngineContext.for_soc(soc, constraints)
-    grid = config_grid(percents, deltas, slacks)
+    options = {
+        "percents": tuple(percents),
+        "deltas": tuple(deltas),
+        "slacks": tuple(slacks),
+    }
     jobs = []
     for width in widths:
         for mode in SCHEDULER_MODES:
-            jobs.extend(
-                expand_config_jobs(
-                    soc.name,
-                    width,
-                    grid,
-                    base_config=base_config,
-                    constraints_key=None if mode == MODE_NON_PREEMPTIVE else mode,
+            jobs.append(
+                ScheduleJob(
+                    index=len(jobs),
+                    soc=soc.name,
+                    width=width,
+                    config=base_config,
+                    constraints=None if mode == MODE_NON_PREEMPTIVE else mode,
+                    solver="best",
+                    options=options,
                     group=(width, mode),
                     tags=(("mode", mode),),
-                    start_index=len(jobs),
                 )
             )
     best = run_jobs(jobs, context, workers=workers).best_by_group()
@@ -185,20 +205,32 @@ def run_table2(
     config: Optional[SchedulerConfig] = None,
     sweep: Optional[TamSweep] = None,
     workers: int = 0,
+    solver: str = "paper",
+    solver_options: Optional[Dict[str, object]] = None,
 ) -> Tuple[List[Table2Row], TamSweep]:
     """Regenerate the Table 2 rows for one SOC.
 
     A TAM-width sweep provides ``T(W)`` and ``D(W)``; for each ``alpha`` the
     effective width minimising the cost function is reported together with
     the testing time and data volume it yields.  The sweep runs on the
-    engine (one job per width) when not supplied pre-computed.
+    engine (one job per width) when not supplied pre-computed.  ``solver``
+    names the registry solver producing each width's schedule -- pass
+    ``"best"`` for the paper's full best-over-grid protocol per width,
+    executed on the flat executor's shared pool.
     """
     if alphas is None:
         alphas = TABLE2_ALPHAS.get(soc.name, (0.25, 0.5, 0.75))
     if sweep is None:
         if widths is None:
-            widths = tuple(range(8, 65, 2))
-        sweep = parallel_tam_sweep(soc, widths, config=config, workers=workers)
+            widths = TABLE2_WIDTHS
+        sweep = parallel_tam_sweep(
+            soc,
+            widths,
+            config=config,
+            workers=workers,
+            solver=solver,
+            solver_options=solver_options,
+        )
     rows = []
     for alpha in alphas:
         point = sweep.effective_width(alpha)

@@ -30,7 +30,12 @@ Suites
     must produce bit-identical schedules).
 ``sweep``
     The Figure 9 ``T(W)`` / ``D(W)`` sweep on the parallel sweep engine
-    (serial path), cold and warm.
+    (serial path), cold and warm -- plus the flattened-executor headline
+    phases: ``table1_best`` (the full Table 1 protocol, every cell one
+    ``best`` job) and ``table2_best`` (the Table 2 width sweep with the
+    ``best`` solver per width), each measured cold at ``workers=0`` and
+    ``workers=4`` with the results asserted identical across worker
+    counts and recorded for the golden check.
 
 The standalone entry point ``benchmarks/harness.py`` and the ``repro bench``
 CLI subcommand are thin wrappers over :func:`run_suite`.
@@ -90,13 +95,16 @@ def schedule_fingerprint(schedule: Optional[TestSchedule]) -> Optional[str]:
 def cold_reset() -> None:
     """Drop every per-process wrapper cache for a deterministic cold start.
 
-    Clears the curve kernel memo, the reference BFD memos *and* the
+    Clears the curve kernel memo, the reference BFD memos, the
     process-wide default solver session's rectangle cache (the sweep
     engine solves through that session, and its cached ``RectangleSet``
     objects embed already-built curves, so leaving it warm would let a
-    "cold" run skip all wrapper-design work).
+    "cold" run skip all wrapper-design work) *and* the flat executor's
+    persistent worker pool, so parallel measurements pay their pool
+    spin-up like a fresh process would.
     """
     import repro.wrapper.design_wrapper  # noqa: F401  (module, not the function)
+    from repro.engine.executor import close_default_executor
     from repro.solvers.session import get_default_session
 
     reference = sys.modules["repro.wrapper.design_wrapper"]
@@ -104,6 +112,7 @@ def cold_reset() -> None:
     reference._scan_lengths_cached.cache_clear()
     reference._best_width_upto.cache_clear()
     get_default_session().clear_cache()
+    close_default_executor()
 
 
 def _meta(suite: str) -> Dict[str, Any]:
@@ -370,6 +379,103 @@ def run_solve_suite(
     }
 
 
+#: Worker count of the sweep suite's flattened-executor table phases (the
+#: acceptance configuration of the flat-executor PR).
+TABLE_WORKERS = 4
+
+
+def _timed_cold(fn, repeats: int):
+    """Min-of-``repeats`` cold wall time of ``fn()`` plus its last result."""
+    best: Optional[float] = None
+    value = None
+    for _ in range(max(1, repeats)):
+        cold_reset()
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    cold_reset()  # do not leak a warm pool into the next measurement
+    return best, value
+
+
+def _table_best_measurements(
+    soc_name: str, repeats: int
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, int]]:
+    """The flattened-executor headline: Tables 1 and 2 with the best solver.
+
+    Each phase is measured cold (empty caches, no pool) at ``workers=0``
+    and ``workers=TABLE_WORKERS``; the row values / sweep curves must be
+    identical across worker counts (the executor's bit-identity contract)
+    and are recorded for the golden check.
+    """
+    import warnings as warnings_module
+
+    from repro.analysis.experiments import TABLE2_WIDTHS, run_table1
+    from repro.engine.api import parallel_tam_sweep
+
+    soc = get_benchmark(soc_name)
+    phases: Dict[str, Dict[str, Any]] = {}
+    makespans: Dict[str, int] = {}
+
+    def timed_flat(fn):
+        """Cold-time a parallel run, recording whether it degraded.
+
+        Without the marker a pool-less sandbox would silently label a
+        serial measurement ``flat_seconds`` and the report would claim a
+        parallel-vs-serial comparison that never happened.
+        """
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always", RuntimeWarning)
+            seconds, value = _timed_cold(fn, repeats)
+        degraded = any(
+            "degrading to the serial" in str(entry.message) for entry in caught
+        )
+        return seconds, value, degraded
+
+    serial_seconds, serial_rows = _timed_cold(
+        lambda: run_table1(soc, workers=0), repeats
+    )
+    flat_seconds, flat_rows, degraded = timed_flat(
+        lambda: run_table1(soc, workers=TABLE_WORKERS)
+    )
+    if flat_rows != serial_rows:
+        raise AssertionError("table1_best rows differ across worker counts")
+    phases[f"table1_best/{soc_name}"] = {
+        "serial_seconds": serial_seconds,
+        "flat_seconds": flat_seconds,
+        "workers": TABLE_WORKERS,
+        "degraded_to_serial": degraded,
+    }
+    for row in serial_rows:
+        makespans[f"{soc_name}/table1/{row.width}/lower_bound"] = row.lower_bound
+        makespans[f"{soc_name}/table1/{row.width}/non_preemptive"] = row.non_preemptive
+        makespans[f"{soc_name}/table1/{row.width}/preemptive"] = row.preemptive
+        makespans[
+            f"{soc_name}/table1/{row.width}/power_constrained"
+        ] = row.power_constrained
+
+    serial_seconds, serial_sweep = _timed_cold(
+        lambda: parallel_tam_sweep(soc, TABLE2_WIDTHS, workers=0, solver="best"),
+        repeats,
+    )
+    flat_seconds, flat_sweep, degraded = timed_flat(
+        lambda: parallel_tam_sweep(
+            soc, TABLE2_WIDTHS, workers=TABLE_WORKERS, solver="best"
+        )
+    )
+    if flat_sweep != serial_sweep:
+        raise AssertionError("table2_best sweep differs across worker counts")
+    phases[f"table2_best/{soc_name}"] = {
+        "serial_seconds": serial_seconds,
+        "flat_seconds": flat_seconds,
+        "workers": TABLE_WORKERS,
+        "degraded_to_serial": degraded,
+    }
+    for width, testing_time in zip(serial_sweep.widths, serial_sweep.testing_times):
+        makespans[f"{soc_name}/table2_best/{width}"] = testing_time
+    return phases, makespans
+
+
 def run_sweep_suite(
     soc_names: Sequence[str] = ("d695",),
     min_width: int = 4,
@@ -377,11 +483,18 @@ def run_sweep_suite(
     step: int = 2,
     repeats: int = 2,
 ) -> Dict[str, Any]:
-    """The Figure 9 ``T(W)``/``D(W)`` sweep, cold and warm (serial engine)."""
+    """The Figure 9 ``T(W)``/``D(W)`` sweep plus the flat-executor tables.
+
+    The classic cold/warm Figure 9 measurement (serial engine) is followed
+    by the ``table1_best``/``table2_best`` phases: the full Table 1 and
+    Table 2 protocols with the ``best`` solver, serial vs. the flattened
+    executor at ``workers=4``, results asserted identical and recorded in
+    the report's makespans for ``--check-golden``.
+    """
     from repro.engine.api import parallel_tam_sweep
 
     widths = tuple(range(min_width, max_width + 1, step))
-    timings: Dict[str, Dict[str, float]] = {}
+    timings: Dict[str, Dict[str, Any]] = {}
     makespans: Dict[str, int] = {}
     for soc_name in soc_names:
         soc = get_benchmark(soc_name)
@@ -402,11 +515,16 @@ def run_sweep_suite(
         timings[soc_name] = {"cold_seconds": cold_best, "warm_seconds": warm}
         for width, testing_time in zip(sweep.widths, sweep.testing_times):
             makespans[f"{soc_name}/sweep/{width}"] = testing_time
+    for soc_name in soc_names:
+        table_phases, table_makespans = _table_best_measurements(soc_name, repeats)
+        timings.update(table_phases)
+        makespans.update(table_makespans)
     return {
         **_meta("sweep"),
         "socs": list(soc_names),
         "widths": list(widths),
         "repeats": repeats,
+        "table_workers": TABLE_WORKERS,
         "phases": timings,
         "cache": _cache_stats(),
         "makespans": makespans,

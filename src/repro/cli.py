@@ -249,7 +249,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # points report identical effective widths.
         widths = _sweep_widths(args, 8, 64)
         rows, _sweep = run_table2(
-            soc, widths=widths, alphas=args.alphas or None, workers=args.workers
+            soc,
+            widths=widths,
+            alphas=args.alphas or None,
+            workers=args.workers,
+            solver=args.solver,
         )
         print(table2_to_text(rows))
         _export(args, table2_to_csv(rows), [dataclasses.asdict(row) for row in rows])
@@ -422,8 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--solver",
         default="paper",
-        help="solver for the curves experiment (any schedule-producing "
-        "registry solver, e.g. 'best'; default: paper)",
+        help="solver for the curves and table2 experiments (any "
+        "schedule-producing registry solver, e.g. 'best' for the full "
+        "best-over-grid protocol per width; default: paper)",
     )
     p_sweep.add_argument(
         "--widths", type=int, nargs="*", help="TAM widths (table1 experiment)"

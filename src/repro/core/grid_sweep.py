@@ -23,11 +23,15 @@ tests in ``tests/test_grid_sweep.py``):
 * **Lower-bound early exit.**  Once a candidate meets the Table 1 lower
   bound (max of area and bottleneck bounds) no later grid point can beat
   it, so the sweep stops.
-* **Parallel execution.**  Surviving runs fan out over a ``fork``-preferring
-  worker pool (the same machinery the sweep engine uses); batches are
-  dispatched in grid order so incumbent bounds keep tightening, and the
-  winner is selected by ``(makespan, grid index)`` exactly as the serial
-  loop would.  Pool-less sandboxes degrade to the serial path; results are
+* **Parallel execution.**  Surviving runs fan out as individual tasks on
+  the *shared flat executor* (:mod:`repro.engine.executor`) -- the same
+  persistent pool the sweep engine dispatches to, so a ``best`` solve and
+  an engine sweep never nest pools.  Tasks stream through
+  ``imap_unordered`` carrying the incumbent makespan known at dispatch
+  time (monotone-tightening only), and the winner is selected by
+  ``(makespan, grid index)`` exactly as the serial loop would.  Pool-less
+  sandboxes degrade to the serial path *observably* (a RuntimeWarning plus
+  a ``degraded_to_serial`` marker in the outcome metadata); results are
   bit-identical for every worker count.
 
 The sweep also reports *which* grid point won (:class:`GridSweepOutcome`),
@@ -37,7 +41,7 @@ which the ``best`` solver surfaces in its result metadata.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.lower_bounds import lower_bound
@@ -88,8 +92,12 @@ class GridRun:
 class GridSweepOutcome:
     """The result of one best-over-grid sweep.
 
-    All fields are deterministic functions of the inputs -- identical for
-    every worker count -- so the outcome is safe to fingerprint.
+    All comparable fields are deterministic functions of the inputs --
+    identical for every worker count -- so the outcome is safe to
+    fingerprint.  ``degraded_to_serial`` records that a requested worker
+    pool could not be created (environment-dependent, so excluded from
+    equality); it surfaces in :meth:`metadata` only when set, keeping
+    serial-reference metadata comparisons exact.
     """
 
     schedule: TestSchedule
@@ -99,10 +107,11 @@ class GridSweepOutcome:
     unique_runs: int
     lower_bound: int
     early_exit: bool
+    degraded_to_serial: bool = field(default=False, compare=False)
 
     def metadata(self) -> Dict[str, Any]:
         """Flat, JSON/CSV-friendly form for ``ScheduleResult.metadata``."""
-        return {
+        metadata = {
             "grid_points": self.grid_points,
             "unique_runs": self.unique_runs,
             "winner_percent": self.winner.percent,
@@ -111,6 +120,9 @@ class GridSweepOutcome:
             "lower_bound": self.lower_bound,
             "early_exit": self.early_exit,
         }
+        if self.degraded_to_serial:
+            metadata["degraded_to_serial"] = True
+        return metadata
 
 
 def enumerate_grid_points(
@@ -172,7 +184,7 @@ def dedupe_grid(
 
 
 # ----------------------------------------------------------------------
-# Pool plumbing (shared with the sweep engine)
+# Pool context and run ordering (shared with the flat executor)
 # ----------------------------------------------------------------------
 def preferred_pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (cheap start-up, inherits warm caches) when available."""
@@ -182,48 +194,33 @@ def preferred_pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-# Per-worker sweep inputs, installed once by the pool initializer (fork
-# workers inherit the parent's warm curve caches on top).
-_WORKER_SWEEP: Optional[Tuple[Soc, int, Optional[ConstraintSet], SchedulerConfig]] = None
-
-
-def _init_sweep_worker(
+def order_runs_by_estimate(
     soc: Soc,
+    rectangle_sets: Dict[str, RectangleSet],
     total_width: int,
-    constraints: Optional[ConstraintSet],
-    config: SchedulerConfig,
-) -> None:
-    global _WORKER_SWEEP
-    _WORKER_SWEEP = (soc, total_width, constraints, config)
-    # Warm the shared per-process rectangle cache (a no-op under fork,
-    # where the parent's cache is inherited).
-    from repro.solvers.session import get_default_session
+    runs: Sequence[GridRun],
+) -> List[GridRun]:
+    """Deduplicated runs, most promising first.
 
-    get_default_session().rectangle_sets(soc, config.max_core_width)
+    The estimate (area/bottleneck lower bound at the run's preferred
+    widths) is a pure function of the inputs, and the strict pruning rule
+    makes the final winner independent of evaluation order, so evaluating
+    promising runs first is purely a wall-clock lever: the incumbent bound
+    tightens early and prunes the rest harder.  Both the serial sweep and
+    the flat executor's task decomposition use this order.
+    """
 
+    def estimate(run: GridRun) -> Tuple[int, int]:
+        area = 0
+        bottleneck = 0
+        for core, width in zip(soc.cores, run.preferred_widths):
+            time = rectangle_sets[core.name].time_at(width)
+            area += width * time
+            if time > bottleneck:
+                bottleneck = time
+        return (max(-(-area // total_width), bottleneck), run.index)
 
-def _run_in_sweep_worker(
-    task: Tuple[int, GridPoint, Tuple[int, ...], Optional[int]]
-) -> Optional[Tuple[int, TestSchedule]]:
-    assert _WORKER_SWEEP is not None, "sweep worker used before initialization"
-    soc, total_width, constraints, config = _WORKER_SWEEP
-    from repro.solvers.session import get_default_session
-
-    sets = get_default_session().rectangle_sets(soc, config.max_core_width)
-    index, point, vector, limit = task
-    schedule = _execute_run(
-        soc,
-        total_width,
-        constraints or ConstraintSet.unconstrained(),
-        config,
-        sets,
-        point,
-        vector,
-        limit,
-    )
-    if schedule is None:
-        return None
-    return index, schedule
+    return sorted(runs, key=estimate)
 
 
 def _execute_run(
@@ -279,10 +276,13 @@ def run_grid_sweep(
     """Best paper-scheduler run over the heuristic grid, with provenance.
 
     Parameters mirror :func:`repro.core.scheduler.run_best_schedule`;
-    ``workers > 1`` fans the deduplicated runs out over a process pool
-    (serial fallback when no pool can be created).  The returned outcome --
-    schedule, winning grid point and sweep statistics -- is bit-identical
-    for every worker count.
+    ``workers > 1`` fans the deduplicated runs out as individual tasks on
+    the process-wide flat executor (:mod:`repro.engine.executor`), sharing
+    its persistent worker pool with the sweep engine.  When no pool can be
+    created the sweep degrades -- with a :class:`RuntimeWarning` and a
+    ``degraded_to_serial`` outcome marker -- to the serial loop.  The
+    returned outcome -- schedule, winning grid point and sweep statistics
+    -- is bit-identical for every worker count.
     """
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
@@ -295,55 +295,39 @@ def run_grid_sweep(
         raise ValueError("the heuristic grid is empty; nothing to sweep")
     bound = lower_bound(soc, total_width, base.max_core_width, rectangle_sets=sets)
     grid_points = len(percents) * len(deltas) * len(slacks)
-
-    # Evaluate promising runs first so the incumbent bound tightens early
-    # and prunes the rest harder.  The estimate (area/bottleneck bound at
-    # the run's preferred widths) is a pure function of the inputs, and the
-    # strict pruning rule makes the final winner independent of evaluation
-    # order, so this is purely a wall-clock lever.
-    def estimate(run: GridRun) -> Tuple[int, int]:
-        area = 0
-        bottleneck = 0
-        for core, width in zip(soc.cores, run.preferred_widths):
-            time = sets[core.name].time_at(width)
-            area += width * time
-            if time > bottleneck:
-                bottleneck = time
-        return (max(-(-area // total_width), bottleneck), run.index)
-
-    ordered = sorted(runs, key=estimate)
+    ordered = order_runs_by_estimate(soc, sets, total_width, runs)
 
     best: Optional[Tuple[int, int, GridPoint, TestSchedule]] = None
+    degraded = False
 
-    def consider(index: int, point: GridPoint, schedule: TestSchedule) -> None:
-        nonlocal best
-        key = (schedule.makespan, index)
-        if best is None or key < (best[0], best[1]):
-            best = (schedule.makespan, index, point, schedule)
+    if min(int(workers), len(runs)) > 1:
+        # Lazy import: repro.engine imports this module at load time.
+        from repro.engine.executor import get_default_executor
 
-    def skippable(run: GridRun) -> bool:
-        # Once the incumbent meets the Table 1 lower bound, only an
-        # earlier grid point could still displace it (by tying the
-        # makespan with a smaller index); everything else is settled.
-        return best is not None and best[0] <= bound and run.index > best[1]
+        flat = get_default_executor().run_grid_runs(
+            soc,
+            total_width,
+            constraints,
+            base,
+            ordered,
+            grid_points,
+            bound,
+            workers,
+            rectangle_sets=sets,
+        )
+        if flat is None:
+            degraded = True  # warning already emitted by the executor
+        else:
+            best = flat
 
-    effective = min(int(workers), len(runs))
-    pool = None
-    if effective > 1:
-        try:
-            pool = preferred_pool_context().Pool(
-                processes=effective,
-                initializer=_init_sweep_worker,
-                initargs=(soc, total_width, constraints, base),
-            )
-        except (ImportError, OSError, PermissionError, AssertionError):
-            # Sandboxed platforms (no semaphores, no fork/spawn) and
-            # daemonic pool workers (multiprocessing raises AssertionError
-            # for nested pools, e.g. a 'best' job running inside the sweep
-            # engine's pool) fall back to the serial path.
-            pool = None
+    if best is None:
 
-    if pool is None:
+        def skippable(run: GridRun) -> bool:
+            # Once the incumbent meets the Table 1 lower bound, only an
+            # earlier grid point could still displace it (by tying the
+            # makespan with a smaller index); everything else is settled.
+            return best is not None and best[0] <= bound and run.index > best[1]
+
         for run in ordered:
             if skippable(run):
                 continue
@@ -359,26 +343,9 @@ def run_grid_sweep(
                 limit,
             )
             if schedule is not None:
-                consider(run.index, run.point, schedule)
-    else:
-        with pool:
-            # Dispatch in estimate order, one batch per pool width, so
-            # every batch after the first carries a tightened incumbent.
-            for start in range(0, len(ordered), effective):
-                batch = [run for run in ordered[start : start + effective] if not skippable(run)]
-                if not batch:
-                    continue
-                limit = best[0] if best is not None else None
-                tasks = [
-                    (run.index, run.point, run.preferred_widths, limit)
-                    for run in batch
-                ]
-                by_index = {run.index: run for run in batch}
-                for outcome in pool.map(_run_in_sweep_worker, tasks, chunksize=1):
-                    if outcome is None:
-                        continue
-                    index, schedule = outcome
-                    consider(index, by_index[index].point, schedule)
+                key = (schedule.makespan, run.index)
+                if best is None or key < (best[0], best[1]):
+                    best = (schedule.makespan, run.index, run.point, schedule)
 
     assert best is not None  # the first (unbounded) run always completes
     makespan, _, point, schedule = best
@@ -390,6 +357,7 @@ def run_grid_sweep(
         unique_runs=len(runs),
         lower_bound=bound,
         early_exit=makespan <= bound,
+        degraded_to_serial=degraded,
     )
 
 

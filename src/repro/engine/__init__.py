@@ -30,9 +30,14 @@ from repro.engine.api import (
     preemption_limits,
     run_grid,
 )
+from repro.engine.executor import (
+    FlatExecutor,
+    close_default_executor,
+    get_default_executor,
+)
 from repro.engine.grid import GridError, ParameterGrid
 from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
-from repro.engine.results import SweepResults
+from repro.engine.results import ExecutorStats, SweepResults
 from repro.engine.runner import execute_job, prime_context_caches, run_jobs
 
 __all__ = [
@@ -43,6 +48,10 @@ __all__ = [
     "EngineContext",
     "EngineError",
     "SweepResults",
+    "ExecutorStats",
+    "FlatExecutor",
+    "get_default_executor",
+    "close_default_executor",
     "run_jobs",
     "run_grid",
     "execute_job",

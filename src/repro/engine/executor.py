@@ -1,0 +1,927 @@
+"""Flattened shared-pool executor: one persistent work queue for every layer.
+
+Before this module existed the repository had *two* pool layers that could
+not compose: the sweep engine pooled over whole :class:`ScheduleJob`\\ s, and
+the ``best`` solver's grid sweep pooled over its deduplicated scheduler
+runs.  A ``best`` job executing inside a sweep worker hit multiprocessing's
+daemonic-pool restriction and silently fell back to serial grid runs, so
+the paper's most expensive experiments (Tables 1/2, Figure 9 -- all sweeps
+of best-over-grid solves) never used more than one process per grid point.
+
+:class:`FlatExecutor` replaces both layers with a single flat task queue:
+
+* **Decomposition.**  :meth:`FlatExecutor.run_jobs` breaks every job into
+  scheduler-run *tasks*.  A ``best`` job explodes into its deduplicated
+  grid runs (reusing :func:`repro.core.grid_sweep.dedupe_grid` and the
+  estimate-first ordering), any other solver stays one task.  Parallelism
+  granularity is the individual scheduler run, so stragglers shrink and
+  nested pools disappear -- workers never need a pool of their own.
+* **Dispatch.**  Tasks flow through ``imap_unordered`` behind a sliding
+  backpressure window, and results are reassembled deterministically by
+  ``(job index, run key)``.  Cross-task incumbent makespans for the same
+  ``best`` job feed later tasks of that job two ways: injected into the
+  task at yield time, and (on fork pools) published on a shared lock-free
+  *incumbent board* that workers re-read when a task actually starts, so
+  pruning stays tight even for tasks dispatched early in large chunks.
+  Incumbents only ever tighten monotonically towards the final winner --
+  a stale (looser) limit can never abort the winner -- so the selected
+  schedule, winner grid point and statistics are bit-identical for every
+  worker count.
+* **Persistence.**  The pool outlives one call: it is created lazily,
+  keyed on the *SOC universe* of the :class:`~repro.engine.jobs.EngineContext`
+  (constraint sets are small and travel inside tasks, so a Table 1 sweep,
+  a Table 2 sweep and a direct ``best`` solve over the same SOC all share
+  one pool) plus the worker count and warmed cache pairs, and reused by
+  subsequent ``run_jobs`` / ``Session.solve`` calls, keeping the workers'
+  warm wrapper-curve and rectangle caches.  A SOC-universe change
+  refreshes the pool (cheap under ``fork``: the parent's caches -- warmed
+  *before* the fork -- are inherited); :meth:`FlatExecutor.close` tears it
+  down explicitly and an ``atexit`` hook closes the process-wide default
+  executor.
+
+When no pool can be created at all (sandboxes without semaphores,
+daemonic workers) the executor degrades to the deterministic serial path
+-- *observably*: a :class:`RuntimeWarning` is emitted and the returned
+:class:`~repro.engine.results.SweepResults` carry
+``degraded_to_serial=True`` in their :class:`~repro.engine.results.ExecutorStats`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import multiprocessing
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.data_volume import tester_data_volume
+from repro.core.grid_sweep import (
+    DEFAULT_DELTAS,
+    DEFAULT_PERCENTS,
+    DEFAULT_SLACKS,
+    GridPoint,
+    GridRun,
+    GridSweepOutcome,
+    _execute_run,
+    dedupe_grid,
+    order_runs_by_estimate,
+    preferred_pool_context,
+)
+from repro.core.lower_bounds import lower_bound
+from repro.core.scheduler import SchedulerConfig
+from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
+from repro.engine.results import ExecutorStats, SweepResults
+from repro.schedule.schedule import TestSchedule
+from repro.soc.constraints import ConstraintSet
+from repro.soc.soc import Soc
+from repro.solvers.registry import normalize_solver_name
+from repro.solvers.request import ScheduleRequest
+from repro.solvers.session import get_default_session
+
+#: Option names the ``best`` solver understands; a best job carrying any
+#: other option is left whole so the solver raises its canonical error.
+_BEST_OPTION_NAMES = frozenset({"percents", "deltas", "slacks", "workers"})
+
+#: Exceptions that mean "no pool can be created here" (sandboxes without
+#: working semaphores, platforms without fork/spawn, daemonic workers).
+_POOL_CREATION_ERRORS = (ImportError, OSError, PermissionError, AssertionError)
+
+#: Slots on the shared incumbent board (one per concurrently-dispatched
+#: grid plan; plans beyond the board fall back to dispatch-time limits).
+_BOARD_SLOTS = 1024
+
+
+# ----------------------------------------------------------------------
+# Per-job execution and cache warming (shared by serial path and workers)
+# ----------------------------------------------------------------------
+def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
+    """Run one whole job to completion in the current process.
+
+    The job is dispatched through the process-wide solver session, so its
+    Pareto rectangle sets come from (and warm) the shared cache.
+    """
+    soc, constraints = context.resolve(job)
+    return _solve_job(job, soc, constraints)
+
+
+def _solve_job(
+    job: ScheduleJob,
+    soc: Soc,
+    constraints: Optional[ConstraintSet],
+    suppress_fanout: bool = False,
+) -> JobResult:
+    """``execute_job`` with the context references already resolved.
+
+    ``suppress_fanout`` is set when the job runs *inside* a pool worker:
+    the flat pool already is the parallelism, so a solver-level ``workers``
+    option is forced serial.  Without this, a ``best`` job dispatched
+    whole would attempt a nested pool in a daemonic worker and stamp its
+    (environment-dependent) ``degraded_to_serial`` marker into result
+    metadata, breaking bit-identity with the serial reference.
+    """
+    options = job.solver_options()
+    if suppress_fanout and options.get("workers"):
+        options["workers"] = 0
+    result = get_default_session().solve(
+        ScheduleRequest(
+            soc=soc,
+            total_width=job.width,
+            solver=job.solver,
+            config=job.config,
+            constraints=constraints,
+            options=options,
+        )
+    )
+    if result.schedule is None:
+        raise EngineError(
+            f"solver {job.solver!r} produces no schedule and cannot run as an "
+            "engine job"
+        )
+    return JobResult(
+        job=job,
+        makespan=result.makespan,
+        data_volume=result.data_volume,
+        schedule=result.schedule,
+        metadata=tuple(sorted(result.metadata.items())),
+        wall_time=result.wall_time,
+        worker=multiprocessing.current_process().name,
+    )
+
+
+def prime_context_caches(
+    context: EngineContext,
+    pairs: Iterable[Union[Tuple[str, int], int]],
+) -> int:
+    """Warm the Pareto caches for exactly the referenced (SOC, width) pairs.
+
+    ``pairs`` holds ``(soc_key, max_core_width)`` tuples -- only those
+    combinations are warmed, so a multi-SOC context does not pay for the
+    full SOC x width cross-product when the job list references a subset.
+    Bare ``int`` widths are accepted for backward compatibility and warm
+    that width for every SOC in the context.
+
+    Both the per-process testing-time curve memo and the default solver
+    session's rectangle cache are primed, so every subsequent solve of a
+    referenced combination skips wrapper design entirely.  Returns the
+    number of per-core curves now cached.
+    """
+    resolved: Set[Tuple[str, int]] = set()
+    for item in pairs:
+        if isinstance(item, tuple):
+            key, width = item
+            resolved.add((key, int(width)))
+        else:  # legacy form: one width for every SOC in the context
+            resolved.update((key, int(item)) for key in context.socs)
+    return _prime_soc_pairs(dict(context.socs), resolved)
+
+
+def _prime_soc_pairs(
+    socs: Dict[str, Soc], pairs: Iterable[Tuple[str, int]]
+) -> int:
+    """Warm the curve memo and session rectangle cache for exact pairs."""
+    from repro.wrapper.pareto import prime_pareto_cache
+
+    session = get_default_session()
+    primed = 0
+    for key, width in sorted(set(pairs)):
+        soc = socs[key]
+        primed += prime_pareto_cache(soc.cores, int(width))
+        session.rectangle_sets(soc, int(width))
+    return primed
+
+
+# ----------------------------------------------------------------------
+# Worker-side task execution
+# ----------------------------------------------------------------------
+# SOC universe installed in each pool worker by the initializer (fork
+# workers inherit the parent's module state; spawn workers receive it via
+# initargs).  Tasks reference SOCs by key -- the one large object ships
+# once per worker -- while the (small) constraint sets travel inside each
+# task, so the pool does not have to be rebuilt when only the constraint
+# vocabulary of a job list changes.
+_WORKER_SOCS: Optional[Dict[str, Soc]] = None
+
+# The shared incumbent board: a lock-free int64 array (fork pools only).
+# The parent writes each grid plan's tightening incumbent makespan into the
+# plan's slot; workers read it when a task starts, so pruning limits stay
+# tight even when tasks were dispatched (chunked) long before they run.
+# Writes are monotone decreasing towards the final winner, so a torn or
+# stale read can only yield a *looser* limit -- never an unsound one.
+_WORKER_BOARD: Optional[Any] = None
+
+
+def _init_worker(
+    socs: Dict[str, Soc],
+    pairs: Sequence[Tuple[str, int]],
+    board: Optional[Any] = None,
+) -> None:
+    """Pool initializer: install the SOC universe, warm the caches.
+
+    Under ``fork`` the priming is a cache hit (the parent warmed the same
+    pairs just before creating the pool); under ``spawn`` it does the real
+    work once per worker.
+    """
+    global _WORKER_SOCS, _WORKER_BOARD
+    _WORKER_SOCS = dict(socs)
+    _WORKER_BOARD = board
+    _prime_soc_pairs(_WORKER_SOCS, pairs)
+
+
+@dataclass(frozen=True)
+class _JobTask:
+    """One whole job, executed via the worker's solver session.
+
+    The constraint set is resolved in the parent and travels with the
+    task (it is small); the SOC stays a key into the worker's universe.
+    """
+
+    job_index: int
+    job: ScheduleJob
+    constraints: Optional[ConstraintSet]
+
+
+@dataclass(frozen=True)
+class _GridTask:
+    """One deduplicated scheduler run of a decomposed ``best`` job.
+
+    ``limit`` is the incumbent makespan of the owning job at dispatch time
+    (monotone-tightening only; ``None`` until the job's first result).
+    ``slot`` indexes the shared incumbent board for a fresher limit at run
+    time (``-1`` when no board is available).
+    """
+
+    job_index: int
+    run_index: int
+    soc: str
+    width: int
+    constraints: Optional[ConstraintSet]
+    config: SchedulerConfig
+    point: GridPoint
+    vector: Tuple[int, ...]
+    limit: Optional[int]
+    slot: int = -1
+
+
+#: What a worker sends back per task, keyed for deterministic reassembly:
+#: ``(job_index, run_index, payload, wall_seconds)``.  ``run_index`` is
+#: ``None`` for whole-job tasks (payload: the JobResult); for grid tasks
+#: the payload is ``None`` (pruned), a bare makespan (completed but not a
+#: strict improvement on the dispatch limit -- the schedule stays in the
+#: worker to save IPC), or a ``(makespan, schedule)`` pair.
+_TaskReply = Tuple[int, Optional[int], Any, float]
+
+
+def _execute_task(task: Union[_JobTask, _GridTask]) -> _TaskReply:
+    started = time.perf_counter()
+    assert _WORKER_SOCS is not None, "worker used before initialization"
+    if isinstance(task, _JobTask):
+        soc = _WORKER_SOCS[task.job.soc]
+        result = _solve_job(task.job, soc, task.constraints, suppress_fanout=True)
+        return (task.job_index, None, result, time.perf_counter() - started)
+    soc = _WORKER_SOCS[task.soc]
+    constraints = task.constraints
+    limit = task.limit
+    if task.slot >= 0 and _WORKER_BOARD is not None:
+        shared = _WORKER_BOARD[task.slot]
+        if shared and (limit is None or shared < limit):
+            limit = int(shared)
+    sets = get_default_session().rectangle_sets(soc, task.config.max_core_width)
+    schedule = _execute_run(
+        soc,
+        task.width,
+        constraints or ConstraintSet.unconstrained(),
+        task.config,
+        sets,
+        task.point,
+        task.vector,
+        limit,
+    )
+    wall = time.perf_counter() - started
+    if schedule is None:  # pruned by the incumbent limit
+        return (task.job_index, task.run_index, None, wall)
+    makespan = schedule.makespan
+    if task.slot >= 0 and _WORKER_BOARD is not None:
+        # Publish the completed makespan so sibling tasks of the same job
+        # prune against it without waiting for the parent's round-trip.
+        # Any completed makespan bounds the job's final best from above,
+        # so the (unlocked) read-compare-write race is benign: a lost
+        # update can only leave a looser -- never an unsound -- limit.
+        current = _WORKER_BOARD[task.slot]
+        if current == 0 or makespan < current:
+            _WORKER_BOARD[task.slot] = makespan
+    if limit is not None and makespan >= limit:
+        # Completed but no strict improvement on the incumbent known at
+        # dispatch: the makespan alone decides the winner, so the (large)
+        # schedule stays out of the result pipe.  In the rare case this
+        # run still wins on the index tie-break, the parent deterministically
+        # recomputes its schedule once, limit-free.
+        return (task.job_index, task.run_index, makespan, wall)
+    return (task.job_index, task.run_index, (makespan, schedule), wall)
+
+
+# ----------------------------------------------------------------------
+# Parent-side plans (one per job)
+# ----------------------------------------------------------------------
+class _JobPlan:
+    """A job executed whole: exactly one task, result passed through."""
+
+    __slots__ = ("job", "constraints", "result")
+
+    def __init__(
+        self, job: ScheduleJob, constraints: Optional[ConstraintSet]
+    ) -> None:
+        self.job = job
+        self.constraints = constraints
+        self.result: Optional[JobResult] = None
+
+    @property
+    def task_count(self) -> int:
+        return 1
+
+    def absorb(self, run_index: Optional[int], payload: Any, wall: float) -> None:
+        self.result = payload
+
+    def finish(self, session: Any) -> JobResult:
+        assert self.result is not None, "job task produced no result"
+        return self.result
+
+
+class _GridPlan:
+    """Shared best-over-grid state for one decomposed ``best`` job.
+
+    Tracks the incumbent ``(makespan, run index)`` as grid-task results
+    arrive (in any order) and keeps the schedule of the best strict
+    improvement seen.  The winner selection rule -- minimal
+    ``(makespan, run index)`` -- is exactly the serial sweep's, so the
+    outcome is independent of completion order.
+    """
+
+    __slots__ = (
+        "job",
+        "soc",
+        "soc_key",
+        "width",
+        "constraints",
+        "config",
+        "runs",
+        "by_index",
+        "grid_points",
+        "bound",
+        "best",
+        "best_schedule",
+        "wall",
+        "dispatched",
+        "slot",
+    )
+
+    def __init__(
+        self,
+        job: Optional[ScheduleJob],
+        soc: Soc,
+        soc_key: str,
+        width: int,
+        constraints: Optional[ConstraintSet],
+        config: SchedulerConfig,
+        runs: Sequence[GridRun],
+        grid_points: int,
+        bound: int,
+    ) -> None:
+        self.job = job
+        self.soc = soc
+        self.soc_key = soc_key
+        self.width = width
+        self.constraints = constraints
+        self.config = config
+        self.runs = tuple(runs)  # estimate-ordered
+        self.by_index = {run.index: run for run in self.runs}
+        self.grid_points = grid_points
+        self.bound = bound
+        self.best: Optional[Tuple[int, int]] = None  # (makespan, run index)
+        self.best_schedule: Optional[TestSchedule] = None
+        self.wall = 0.0
+        self.dispatched = 0
+        self.slot = -1  # shared incumbent-board slot, assigned at dispatch
+
+    @property
+    def task_count(self) -> int:
+        return len(self.runs)
+
+    # -- dispatch-side -------------------------------------------------
+    def limit(self) -> Optional[int]:
+        return self.best[0] if self.best is not None else None
+
+    def skippable(self, run: GridRun) -> bool:
+        # Once the incumbent meets the lower bound, only an earlier grid
+        # point could still displace it (by tying the makespan with a
+        # smaller index); everything else is settled.
+        return (
+            self.best is not None
+            and self.best[0] <= self.bound
+            and run.index > self.best[1]
+        )
+
+    def make_task(self, job_index: int, run: GridRun) -> _GridTask:
+        self.dispatched += 1
+        return _GridTask(
+            job_index=job_index,
+            run_index=run.index,
+            soc=self.soc_key,
+            width=self.width,
+            constraints=self.constraints,
+            config=self.config,
+            point=run.point,
+            vector=run.preferred_widths,
+            limit=self.limit(),
+            slot=self.slot,
+        )
+
+    # -- result-side ---------------------------------------------------
+    def absorb(self, run_index: Optional[int], payload: Any, wall: float) -> None:
+        self.wall += wall
+        if payload is None:  # pruned by the incumbent
+            return
+        if isinstance(payload, tuple):
+            makespan, schedule = payload
+        else:
+            makespan, schedule = payload, None
+        key = (makespan, run_index)
+        if self.best is None or key < self.best:
+            self.best = key
+            self.best_schedule = schedule
+
+    def winner(
+        self, rectangle_sets: Dict[str, Any]
+    ) -> Tuple[int, int, GridPoint, TestSchedule]:
+        """The final ``(makespan, run index, point, schedule)`` of the sweep.
+
+        The first dispatched task runs limit-free and always completes, so
+        ``best`` is set by the time dispatch ends.  When the winner's
+        schedule stayed in its worker (it tied the incumbent and won only
+        on the index tie-break), one deterministic limit-free rerun
+        recomputes it here.
+        """
+        assert self.best is not None, "grid sweep produced no completed run"
+        makespan, index = self.best
+        run = self.by_index[index]
+        schedule = self.best_schedule
+        if schedule is None:
+            schedule = _execute_run(
+                self.soc,
+                self.width,
+                self.constraints or ConstraintSet.unconstrained(),
+                self.config,
+                rectangle_sets,
+                run.point,
+                run.preferred_widths,
+                None,
+            )
+            assert schedule is not None and schedule.makespan == makespan
+        return makespan, index, run.point, schedule
+
+    def finish(self, session: Any) -> JobResult:
+        """Assemble the JobResult exactly as the undecomposed path would."""
+        assert self.job is not None
+        soc = self.soc
+        constraints = self.constraints
+        sets = session.rectangle_sets(soc, self.config.max_core_width)
+        makespan, _, point, schedule = self.winner(sets)
+        outcome = GridSweepOutcome(
+            schedule=schedule,
+            winner=point,
+            makespan=makespan,
+            grid_points=self.grid_points,
+            unique_runs=len(self.runs),
+            lower_bound=self.bound,
+            early_exit=makespan <= self.bound,
+        )
+        # Parity with Session.solve: the best solver supports constraints,
+        # so its schedules are validated against them.
+        schedule.validate(soc, constraints=constraints)
+        return JobResult(
+            job=self.job,
+            makespan=makespan,
+            data_volume=tester_data_volume(schedule),
+            schedule=schedule,
+            metadata=tuple(sorted(outcome.metadata().items())),
+            wall_time=self.wall,
+            worker="flat-pool",
+        )
+
+
+_Plan = Union[_JobPlan, _GridPlan]
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class FlatExecutor:
+    """A persistent process pool fed by one flat scheduler-run task queue.
+
+    One executor owns (at most) one pool.  The pool is created lazily on
+    the first parallel dispatch, keyed on the *SOC universe* (the context's
+    key -> SOC mapping -- constraint sets travel inside tasks, so Table 1
+    and Table 2 sweeps over the same SOC share one pool), the process
+    count and the set of warmed ``(SOC, max width)`` cache pairs; it is
+    reused verbatim while those match and refreshed (close + recreate)
+    when they change.  ``close()`` tears the pool down; the process-wide
+    default executor (:func:`get_default_executor`) is closed at exit.
+    """
+
+    def __init__(self, window_factor: int = 4) -> None:
+        if window_factor < 1:
+            raise EngineError("window_factor must be positive")
+        self._window_factor = int(window_factor)
+        self._pool: Optional[Any] = None
+        self._board: Optional[Any] = None
+        self._socs: Optional[Dict[str, Soc]] = None
+        self._processes = 0
+        self._pairs: Set[Tuple[str, int]] = set()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a worker pool is currently up."""
+        return self._pool is not None
+
+    @property
+    def processes(self) -> int:
+        """Worker processes of the live pool (0 when no pool is up)."""
+        return self._processes if self._pool is not None else 0
+
+    def close(self) -> None:
+        """Tear down the pool (if any).  The executor stays usable."""
+        pool, self._pool = self._pool, None
+        self._board = None
+        self._socs = None
+        self._processes = 0
+        self._pairs = set()
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "FlatExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _ensure_pool(
+        self,
+        socs: Dict[str, Soc],
+        pairs: Set[Tuple[str, int]],
+        processes: int,
+        reason: str,
+    ) -> Optional[Any]:
+        """A pool matching (SOC universe, processes) with ``pairs`` warm.
+
+        The parent's caches are primed *before* the fork so workers inherit
+        them warm.  On creation failure a RuntimeWarning is emitted and
+        ``None`` returned -- callers degrade to their serial path.
+        """
+        if (
+            self._pool is not None
+            and self._socs == socs
+            and self._processes == processes
+            and pairs <= self._pairs
+        ):
+            # The process count must match exactly: dispatch fans tasks
+            # out over every pool worker, so reusing a larger pool would
+            # silently exceed the caller's documented worker cap.
+            return self._pool
+        self.close()
+        _prime_soc_pairs(socs, pairs)
+        pool_context = preferred_pool_context()
+        board = None
+        if pool_context.get_start_method() == "fork":
+            # The incumbent board rides on fork inheritance; spawn pools
+            # simply run with dispatch-time limits only.
+            try:
+                board = pool_context.RawArray(ctypes.c_int64, _BOARD_SLOTS)
+            except _POOL_CREATION_ERRORS:
+                board = None
+        try:
+            pool = pool_context.Pool(
+                processes=processes,
+                initializer=_init_worker,
+                initargs=(socs, tuple(sorted(pairs)), board),
+            )
+        except _POOL_CREATION_ERRORS as error:
+            warnings.warn(
+                f"{reason}: no worker pool could be created "
+                f"({type(error).__name__}: {error}); degrading to the serial "
+                "path (results are identical, wall time is not)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self._pool = pool
+        self._board = board
+        self._socs = dict(socs)
+        self._processes = processes
+        self._pairs = set(pairs)
+        return pool
+
+    # -- planning -------------------------------------------------------
+    def _plan(
+        self, job: ScheduleJob, context: EngineContext, session: Any
+    ) -> _Plan:
+        """Decompose one job into its flat-task plan.
+
+        Only ``best`` jobs with recognised options decompose; anything
+        else (including a best job carrying unknown options, which must
+        raise the solver's canonical error) stays whole.
+        """
+        soc, constraints = context.resolve(job)
+        try:
+            is_best = normalize_solver_name(job.solver) == "best"
+        except Exception:
+            is_best = False
+        if not is_best:
+            return _JobPlan(job, constraints)
+        options = job.solver_options()
+        if not set(options) <= _BEST_OPTION_NAMES:
+            return _JobPlan(job, constraints)
+        if constraints is not None:
+            constraints.validate_for(soc)
+        percents = tuple(options.get("percents") or DEFAULT_PERCENTS)
+        deltas = tuple(options.get("deltas") or DEFAULT_DELTAS)
+        slacks = tuple(options.get("slacks") or DEFAULT_SLACKS)
+        sets = session.rectangle_sets(soc, job.config.max_core_width)
+        runs = dedupe_grid(
+            soc, job.width, job.config, sets, percents, deltas, slacks
+        )
+        if not runs:  # empty grid: let the solver raise its canonical error
+            return _JobPlan(job, constraints)
+        bound = lower_bound(
+            soc, job.width, job.config.max_core_width, rectangle_sets=sets
+        )
+        return _GridPlan(
+            job=job,
+            soc=soc,
+            soc_key=job.soc,
+            width=job.width,
+            constraints=constraints,
+            config=job.config,
+            runs=order_runs_by_estimate(soc, sets, job.width, runs),
+            grid_points=len(percents) * len(deltas) * len(slacks),
+            bound=bound,
+        )
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(
+        self,
+        pool: Any,
+        plans: Sequence[_Plan],
+        processes: int,
+        chunksize: int,
+    ) -> None:
+        """Stream every plan's tasks through the pool, unordered.
+
+        A sliding backpressure window (a plain semaphore between the
+        result loop and the task generator, which runs in the pool's
+        feeder thread) keeps enough tasks in flight to saturate the
+        workers while leaving later grid tasks undispatched long enough to
+        pick up tightened incumbent limits and skip decisions.  On fork
+        pools the shared incumbent board supplements this: tasks read
+        their plan's freshest incumbent when they *start*, so pruning
+        stays tight even for tasks dispatched early in large chunks.
+        """
+        if not any(isinstance(plan, _GridPlan) for plan in plans):
+            # Pure whole-job dispatch: no incumbents to feed, so skip the
+            # backpressure machinery and hand the task list over in bulk.
+            tasks = [
+                _JobTask(job_index=i, job=plan.job, constraints=plan.constraints)
+                for i, plan in enumerate(plans)
+            ]
+            try:
+                for job_index, run_index, payload, wall in pool.imap_unordered(
+                    _execute_task, tasks, chunksize=chunksize
+                ):
+                    plans[job_index].absorb(run_index, payload, wall)
+            except BaseException:
+                self.close()  # drop abandoned in-flight tasks with the pool
+                raise
+            return
+
+        board = self._board
+        slot = 0
+        for plan in plans:
+            if isinstance(plan, _GridPlan):
+                if board is not None and slot < _BOARD_SLOTS:
+                    plan.slot = slot
+                    board[slot] = 0  # 0 = no incumbent yet
+                    slot += 1
+                else:
+                    plan.slot = -1
+        window = max(processes * self._window_factor * chunksize, 2 * chunksize)
+        permits = threading.Semaphore(window)
+        abort = threading.Event()
+
+        def stream() -> Iterator[Union[_JobTask, _GridTask]]:
+            for job_index, plan in enumerate(plans):
+                if isinstance(plan, _JobPlan):
+                    permits.acquire()
+                    if abort.is_set():
+                        return
+                    yield _JobTask(
+                        job_index=job_index,
+                        job=plan.job,
+                        constraints=plan.constraints,
+                    )
+                    continue
+                for run in plan.runs:
+                    if plan.skippable(run):
+                        continue
+                    permits.acquire()
+                    if abort.is_set():
+                        return
+                    if plan.skippable(run):  # re-check after blocking
+                        permits.release()
+                        continue
+                    yield plan.make_task(job_index, run)
+
+        try:
+            for job_index, run_index, payload, wall in pool.imap_unordered(
+                _execute_task, stream(), chunksize=chunksize
+            ):
+                permits.release()
+                plan = plans[job_index]
+                plan.absorb(run_index, payload, wall)
+                if (
+                    isinstance(plan, _GridPlan)
+                    and plan.slot >= 0
+                    and plan.best is not None
+                ):
+                    board[plan.slot] = plan.best[0]
+        except BaseException:
+            # Unblock the feeder thread (it may be parked on the
+            # semaphore) and drop the pool: abandoned in-flight tasks
+            # would otherwise bleed into the next dispatch.
+            abort.set()
+            for _ in range(window):
+                permits.release()
+            self.close()
+            raise
+
+    # -- entry points ---------------------------------------------------
+    def run_jobs(
+        self,
+        jobs: Iterable[ScheduleJob],
+        context: EngineContext,
+        workers: int = 0,
+        chunksize: Optional[int] = None,
+    ) -> SweepResults:
+        """Execute a job list on the flat queue; results in job order.
+
+        Semantics (and results, bit for bit) match the historical
+        two-layer engine for every worker count; see
+        :func:`repro.engine.runner.run_jobs` for the public contract.
+        """
+        ordered: List[ScheduleJob] = list(jobs)
+        if workers < 0:
+            raise EngineError(f"workers must be non-negative, got {workers}")
+        if not ordered:
+            return SweepResults(())
+        indexes = [job.index for job in ordered]
+        if len(set(indexes)) != len(indexes):
+            raise EngineError("job indexes must be unique within one sweep")
+        for job in ordered:
+            context.resolve(job)  # fail fast on dangling references
+
+        pairs = {(job.soc, job.config.max_core_width) for job in ordered}
+        if int(workers) <= 1:
+            return self._run_serial(ordered, context, pairs)
+
+        session = get_default_session()
+        # Adaptive granularity: explode best jobs into grid-run tasks only
+        # when job-level parallelism cannot fill the pool on its own.
+        # With plenty of jobs, whole-job dispatch keeps the per-task IPC
+        # minimal and each job's internal pruning maximally tight; with
+        # few jobs (the Table 1 shape: a handful of best-over-grid cells),
+        # decomposition is what creates the parallelism and shrinks
+        # stragglers.  Either granularity yields bit-identical results.
+        decompose = len(ordered) < 2 * int(workers)
+        plans = [
+            self._plan(job, context, session)
+            if decompose
+            else _JobPlan(job, context.resolve(job)[1])
+            for job in ordered
+        ]
+        total_tasks = sum(plan.task_count for plan in plans)
+        decomposed = sum(1 for plan in plans if isinstance(plan, _GridPlan))
+        processes = min(int(workers), total_tasks)
+        if processes <= 1:
+            return self._run_serial(ordered, context, pairs)
+        pool = self._ensure_pool(
+            dict(context.socs), pairs, processes, "flat executor"
+        )
+        if pool is None:
+            return self._run_serial(ordered, context, pairs, degraded=True)
+        if chunksize is None:
+            # Grid-run tasks are small (often sub-millisecond on compact
+            # SOCs), so chunk them to amortise IPC -- the shared incumbent
+            # board keeps pruning tight despite the coarser dispatch --
+            # but cap the chunk so heterogeneous tails still spread.
+            chunksize = min(8, max(1, total_tasks // (processes * 4)))
+        self._dispatch(pool, plans, processes, max(1, int(chunksize)))
+        results = tuple(plan.finish(session) for plan in plans)
+        stats = ExecutorStats(
+            jobs=len(ordered),
+            decomposed_jobs=decomposed,
+            tasks=total_tasks,
+            workers=processes,
+            degraded_to_serial=False,
+        )
+        return SweepResults(results, stats=stats)
+
+    def run_grid_runs(
+        self,
+        soc: Soc,
+        total_width: int,
+        constraints: Optional[ConstraintSet],
+        config: SchedulerConfig,
+        runs: Sequence[GridRun],
+        grid_points: int,
+        bound: int,
+        workers: int,
+        rectangle_sets: Dict[str, Any],
+    ) -> Optional[Tuple[int, int, GridPoint, TestSchedule]]:
+        """Fan one best-over-grid sweep out over the shared flat queue.
+
+        The direct entry point for :func:`repro.core.grid_sweep.run_grid_sweep`
+        (a ``Session.solve`` of the ``best`` solver with ``workers > 1``),
+        so standalone best solves and engine sweeps share one pool.  ``runs``
+        must already be deduplicated and estimate-ordered.  Returns the
+        winning ``(makespan, run index, point, schedule)``, or ``None``
+        when no pool is available (the caller falls back to its serial
+        loop; the degrade warning has already been emitted).
+        """
+        processes = min(int(workers), len(runs))
+        if processes <= 1:
+            return None
+        pairs = {(soc.name, config.max_core_width)}
+        pool = self._ensure_pool({soc.name: soc}, pairs, processes, "grid sweep")
+        if pool is None:
+            return None
+        plan = _GridPlan(
+            job=None,
+            soc=soc,
+            soc_key=soc.name,
+            width=total_width,
+            constraints=constraints,
+            config=config,
+            runs=runs,
+            grid_points=grid_points,
+            bound=bound,
+        )
+        chunksize = min(8, max(1, len(runs) // (processes * 4)))
+        self._dispatch(pool, [plan], processes, chunksize)
+        return plan.winner(rectangle_sets)
+
+    # -- serial path ----------------------------------------------------
+    def _run_serial(
+        self,
+        jobs: Sequence[ScheduleJob],
+        context: EngineContext,
+        pairs: Set[Tuple[str, int]],
+        degraded: bool = False,
+    ) -> SweepResults:
+        prime_context_caches(context, pairs)
+        results = tuple(execute_job(job, context) for job in jobs)
+        stats = ExecutorStats(
+            jobs=len(jobs),
+            decomposed_jobs=0,
+            tasks=len(jobs),
+            workers=0,
+            degraded_to_serial=degraded,
+        )
+        return SweepResults(results, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default executor
+# ----------------------------------------------------------------------
+_DEFAULT_EXECUTOR: Optional[FlatExecutor] = None
+
+
+def get_default_executor() -> FlatExecutor:
+    """The process-wide executor (created on first use, closed at exit).
+
+    The sweep engine's :func:`~repro.engine.runner.run_jobs` and the
+    ``best`` solver's grid sweep both dispatch through this executor, so
+    one warm pool serves every layer of a session.
+    """
+    global _DEFAULT_EXECUTOR
+    if _DEFAULT_EXECUTOR is None:
+        _DEFAULT_EXECUTOR = FlatExecutor()
+        atexit.register(close_default_executor)
+    return _DEFAULT_EXECUTOR
+
+
+def close_default_executor() -> None:
+    """Tear down the process-wide executor's pool (idempotent)."""
+    if _DEFAULT_EXECUTOR is not None:
+        _DEFAULT_EXECUTOR.close()

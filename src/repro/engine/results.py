@@ -38,16 +38,46 @@ _BASE_FIELDS = (
 
 
 @dataclass(frozen=True)
+class ExecutorStats:
+    """How one engine run was executed (excluded from results equality).
+
+    ``tasks`` counts the flat scheduler-run tasks the executor dispatched
+    (a decomposed ``best`` job contributes one task per deduplicated grid
+    run, so ``tasks > jobs`` whenever decomposition happened).
+    ``degraded_to_serial`` is ``True`` when a worker pool was requested
+    but could not be created and the run fell back to the serial path --
+    the same condition also emits a :class:`RuntimeWarning`.
+    """
+
+    jobs: int = 0
+    decomposed_jobs: int = 0
+    tasks: int = 0
+    workers: int = 0
+    degraded_to_serial: bool = False
+
+
+@dataclass(frozen=True)
 class SweepResults:
-    """The ordered results of one engine run."""
+    """The ordered results of one engine run.
+
+    ``stats`` describes *how* the run executed (task decomposition, worker
+    count, serial degrade) and is excluded from equality: a serial and a
+    parallel run of the same grid compare equal record-for-record.
+    """
 
     results: Tuple[JobResult, ...] = field(default_factory=tuple)
+    stats: Optional[ExecutorStats] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         ordered = tuple(
             sorted(self.results, key=lambda result: result.job.index)
         )
         object.__setattr__(self, "results", ordered)
+
+    @property
+    def degraded_to_serial(self) -> bool:
+        """True when a requested worker pool degraded to the serial path."""
+        return self.stats is not None and self.stats.degraded_to_serial
 
     # ------------------------------------------------------------------
     # Container protocol

@@ -1,12 +1,18 @@
-"""Job execution: serial loop or ``multiprocessing`` worker pool.
+"""Job execution front door: the flat shared-pool executor, or a serial loop.
+
+Since the flattened executor landed (:mod:`repro.engine.executor`) this
+module is the thin public face of job execution: :func:`run_jobs` hands the
+job list to the process-wide :class:`~repro.engine.executor.FlatExecutor`,
+which decomposes every job into scheduler-run *tasks* (a ``best`` job
+explodes into its deduplicated grid runs, any other solver stays one task),
+streams them through one persistent worker pool and reassembles the results
+deterministically by ``(job index, run key)``.
 
 The executor guarantees that for a fixed job list the *results are
 independent of the worker count*: jobs are pure functions of their inputs
 (every solver is deterministic), results are returned in job order, and all
-aggregation downstream tie-breaks on the job index.  ``workers <= 1`` runs a
-deterministic in-process loop; ``workers > 1`` fans the jobs out over a
-process pool whose initializer ships the :class:`EngineContext` once and
-warms each worker's Pareto caches (the dominant per-schedule cost).
+aggregation downstream tie-breaks on the job index.  ``workers <= 1`` runs
+a deterministic in-process loop.
 
 Jobs are solved through the process-wide solver
 :class:`~repro.solvers.session.Session` (see :mod:`repro.solvers`), so the
@@ -15,92 +21,25 @@ any registered schedule-producing solver can be swept by naming it in
 :attr:`~repro.engine.jobs.ScheduleJob.solver`.
 
 If a pool cannot be created at all -- sandboxes without working semaphores,
-platforms without ``fork``/``spawn`` -- the engine silently degrades to the
-serial path rather than failing the sweep.
+platforms without ``fork``/``spawn`` -- the engine degrades to the serial
+path *observably*: a :class:`RuntimeWarning` is emitted and the returned
+:class:`~repro.engine.results.SweepResults` report
+``degraded_to_serial=True``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional
 
-from repro.core.grid_sweep import preferred_pool_context
-from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
+# Re-exported for backward compatibility: these historically lived here.
+from repro.core.grid_sweep import preferred_pool_context  # noqa: F401
+from repro.engine.executor import (  # noqa: F401
+    execute_job,
+    get_default_executor,
+    prime_context_caches,
+)
+from repro.engine.jobs import EngineContext, ScheduleJob
 from repro.engine.results import SweepResults
-from repro.solvers.request import ScheduleRequest
-from repro.solvers.session import get_default_session
-from repro.wrapper.pareto import prime_pareto_cache
-
-# Context installed in each pool worker by the initializer (fork workers
-# inherit the parent's module state; spawn workers receive it via initargs).
-_WORKER_CONTEXT: Optional[EngineContext] = None
-
-
-def execute_job(job: ScheduleJob, context: EngineContext) -> JobResult:
-    """Run one job to completion in the current process.
-
-    The job is dispatched through the process-wide solver session, so its
-    Pareto rectangle sets come from (and warm) the shared cache.
-    """
-    soc, constraints = context.resolve(job)
-    result = get_default_session().solve(
-        ScheduleRequest(
-            soc=soc,
-            total_width=job.width,
-            solver=job.solver,
-            config=job.config,
-            constraints=constraints,
-            options=job.solver_options(),
-        )
-    )
-    if result.schedule is None:
-        raise EngineError(
-            f"solver {job.solver!r} produces no schedule and cannot run as an "
-            "engine job"
-        )
-    return JobResult(
-        job=job,
-        makespan=result.makespan,
-        data_volume=result.data_volume,
-        schedule=result.schedule,
-        metadata=tuple(sorted(result.metadata.items())),
-        wall_time=result.wall_time,
-        worker=multiprocessing.current_process().name,
-    )
-
-
-def prime_context_caches(context: EngineContext, max_widths: Iterable[int]) -> int:
-    """Warm the Pareto caches for every SOC in the context.
-
-    Both the per-process testing-time curve memo and the default solver
-    session's rectangle cache are primed, so every subsequent solve of the
-    same SOC skips wrapper design entirely.
-    """
-    session = get_default_session()
-    primed = 0
-    widths = sorted({int(width) for width in max_widths})
-    for soc in context.socs.values():
-        for max_width in widths:
-            primed += prime_pareto_cache(soc.cores, max_width)
-            session.rectangle_sets(soc, max_width)
-    return primed
-
-
-def _init_worker(context: EngineContext, max_widths: Sequence[int]) -> None:
-    """Pool initializer: install the shared context, warm the caches."""
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
-    prime_context_caches(context, max_widths)
-
-
-def _run_in_worker(job: ScheduleJob) -> JobResult:
-    assert _WORKER_CONTEXT is not None, "worker used before initialization"
-    return execute_job(job, _WORKER_CONTEXT)
-
-
-def _run_serial(jobs: Sequence[ScheduleJob], context: EngineContext) -> SweepResults:
-    prime_context_caches(context, (job.config.max_core_width for job in jobs))
-    return SweepResults(tuple(execute_job(job, context) for job in jobs))
 
 
 def run_jobs(
@@ -119,41 +58,16 @@ def run_jobs(
     context:
         Shared SOCs and constraint sets the jobs reference.
     workers:
-        ``0`` or ``1`` runs serially in-process; ``n > 1`` uses a pool of
-        ``min(n, len(jobs))`` worker processes.
+        ``0`` or ``1`` runs serially in-process; ``n > 1`` dispatches the
+        decomposed task list over the process-wide flat executor's
+        persistent pool (at most ``min(n, tasks)`` worker processes).
+        Results are bit-identical for every value.
     chunksize:
-        Jobs handed to a worker per dispatch; defaults to roughly four
-        chunks per worker, which balances scheduling overhead against
-        stragglers on heterogeneous grids.
+        Tasks handed to a worker per dispatch.  Defaults to roughly four
+        chunks per worker, capped at 8 tasks per chunk so heterogeneous
+        tails still spread; on fork pools the shared incumbent board
+        keeps pruning tight despite the chunked dispatch.
     """
-    ordered: List[ScheduleJob] = list(jobs)
-    if workers < 0:
-        raise EngineError(f"workers must be non-negative, got {workers}")
-    if not ordered:
-        return SweepResults(())
-    indexes = [job.index for job in ordered]
-    if len(set(indexes)) != len(indexes):
-        raise EngineError("job indexes must be unique within one sweep")
-
-    effective = min(int(workers), len(ordered))
-    if effective <= 1:
-        return _run_serial(ordered, context)
-
-    max_widths = tuple({job.config.max_core_width for job in ordered})
-    if chunksize is None:
-        chunksize = max(1, len(ordered) // (effective * 4))
-    try:
-        pool = preferred_pool_context().Pool(
-            processes=effective,
-            initializer=_init_worker,
-            initargs=(context, max_widths),
-        )
-    except (ImportError, OSError, PermissionError):
-        # No usable multiprocessing primitives (e.g. sandboxed /dev/shm):
-        # degrade to the deterministic serial path.  Only pool *creation*
-        # is guarded -- a job raising inside a worker is a real error and
-        # must propagate, not trigger a full serial re-run.
-        return _run_serial(ordered, context)
-    with pool:
-        results = pool.map(_run_in_worker, ordered, chunksize=chunksize)
-    return SweepResults(tuple(results))
+    return get_default_executor().run_jobs(
+        jobs, context, workers=workers, chunksize=chunksize
+    )

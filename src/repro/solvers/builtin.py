@@ -93,6 +93,12 @@ class BestSolver(Solver):
     Runs the deduplicated, pruned, optionally parallel grid sweep of
     :mod:`repro.core.grid_sweep` and records the winning grid point, the
     dedup statistics and the Table 1 lower bound in the result metadata.
+    With ``workers > 1`` the deduplicated runs dispatch as individual
+    tasks on the process-wide flat executor
+    (:mod:`repro.engine.executor`), sharing one persistent worker pool
+    with the sweep engine -- and when this solver runs *as* a sweep-engine
+    job, the engine decomposes the grid in the parent instead, so the
+    fan-out parallelises there too rather than nesting pools.
 
     Options: ``percents``, ``deltas``, ``slacks`` (sequences overriding the
     default grid) and ``workers`` (process count for the internal fan-out;

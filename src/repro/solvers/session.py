@@ -16,6 +16,12 @@ solvers whose capabilities claim constraint support) and stamps the wall
 time.  The module-level :func:`solve` convenience uses a process-wide
 default session, which is also what the sweep engine's workers use so their
 caches stay warm across jobs.
+
+Solvers that parallelise one solve (the ``best`` solver's grid fan-out)
+dispatch through the process-wide *flat executor*
+(:mod:`repro.engine.executor`): one persistent worker pool shared with the
+sweep engine, kept warm across repeated ``solve`` calls.  ``Session.close``
+(or using the session as a context manager) tears that pool down.
 """
 
 from __future__ import annotations
@@ -118,6 +124,31 @@ class Session:
         self._rectangle_cache.clear()
         self._hits = 0
         self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Shared-executor lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the *process-wide* flat executor's worker pool.
+
+        Parallel solves (``workers > 1``) dispatch through one shared,
+        process-wide executor whose pool persists across calls to keep
+        caches warm; that pool is not owned by any single session, so
+        closing it here also affects other components using it (their
+        next parallel dispatch transparently recreates it).  The session
+        itself stays usable.  A session that never solved in parallel
+        closes nothing of its own -- this is a convenience hook for
+        "I am done with parallel work in this process".
+        """
+        from repro.engine.executor import close_default_executor
+
+        close_default_executor()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Solving

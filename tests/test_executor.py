@@ -1,0 +1,307 @@
+"""Tests for the flattened shared-pool executor (repro.engine.executor).
+
+Three contracts are pinned here:
+
+* **Bit-identity.**  For any job list -- including ``best`` jobs, which the
+  executor decomposes into deduplicated grid-run tasks -- the results are
+  identical to the serial reference for every worker count (randomized
+  property tests over generated SOCs, mixed solvers and constraints).
+* **Flat fan-out.**  A ``best`` job running under the sweep engine is
+  decomposed in the parent and dispatched as multiple tasks (the old
+  two-layer engine silently serialised the grid inside one worker).
+* **Observable degrade.**  When no pool can be created the run falls back
+  to the serial path with a RuntimeWarning and ``degraded_to_serial`` set
+  in the executor stats / sweep metadata -- never silently.
+"""
+
+import random
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.analysis.perf import schedule_fingerprint
+from repro.core.grid_sweep import run_grid_sweep
+from repro.engine.executor import (
+    FlatExecutor,
+    get_default_executor,
+    prime_context_caches,
+)
+from repro.engine.jobs import EngineContext, ScheduleJob
+from repro.engine.runner import run_jobs
+from repro.soc.benchmarks import get_benchmark
+from repro.soc.constraints import ConstraintSet
+from repro.soc.generator import GeneratorProfile, generate_soc
+from repro.solvers import SolverError
+from repro.solvers.session import get_default_session
+
+# Small profile so each randomized case schedules in milliseconds.
+PROFILE = GeneratorProfile(
+    min_cores=4,
+    max_cores=8,
+    max_scan_cells=2000,
+    max_scan_chains=10,
+    bist_fraction=0.2,
+)
+
+SMALL_GRID = {"percents": (1, 10, 40), "deltas": (0, 2), "slacks": (0, 3)}
+
+
+def random_jobs(soc, rng, constraints_keys=()):
+    """A mixed job list: paper, best (decomposable) and shelf jobs."""
+    jobs = []
+    for index in range(rng.randint(3, 6)):
+        solver = rng.choice(("paper", "best", "best", "shelf"))
+        options = SMALL_GRID if solver == "best" else {}
+        constraints = (
+            rng.choice(constraints_keys) if constraints_keys and rng.random() < 0.5
+            else None
+        )
+        jobs.append(
+            ScheduleJob(
+                index=index,
+                soc=soc.name,
+                width=rng.choice((10, 16, 24)),
+                constraints=constraints,
+                solver=solver,
+                options=options,
+                group=(soc.name,),
+            )
+        )
+    return jobs
+
+
+class TestFlatBitIdentity:
+    """Flattened parallel results are bit-identical to the serial reference."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_mixed_jobs_across_worker_counts(self, seed):
+        rng = random.Random(4000 + seed)
+        soc = generate_soc(4000 + seed, name=f"flat-{seed}", profile=PROFILE)
+        constraints = {
+            "budgeted": ConstraintSet.for_soc(soc, default_preemptions=2)
+        }
+        context = EngineContext.for_soc(soc, constraints)
+        jobs = random_jobs(soc, rng, constraints_keys=("budgeted",))
+        serial = run_jobs(jobs, context, workers=0)
+        for workers in (2, 4):
+            parallel = run_jobs(jobs, context, workers=workers)
+            assert tuple(parallel) == tuple(serial)
+            for left, right in zip(serial, parallel):
+                assert schedule_fingerprint(left.schedule) == schedule_fingerprint(
+                    right.schedule
+                )
+                assert left.metadata == right.metadata
+
+    def test_whole_dispatched_best_job_with_workers_option_stays_identical(self):
+        # Enough jobs to trigger whole-job dispatch; each best job carries
+        # a workers option.  Inside a daemonic pool worker that inner
+        # fan-out is forced serial instead of attempting a nested pool --
+        # metadata must NOT grow an environment-dependent degrade marker.
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        jobs = [
+            ScheduleJob(
+                index=i,
+                soc=soc.name,
+                width=width,
+                solver="best",
+                options={**SMALL_GRID, "workers": 2},
+            )
+            for i, width in enumerate((10, 14, 18, 22, 26))
+        ]
+        serial = run_jobs(jobs, context, workers=0)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            parallel = run_jobs(jobs, context, workers=2)  # 5 >= 2*2: whole jobs
+        assert tuple(parallel) == tuple(serial)
+        for result in parallel:
+            assert "degraded_to_serial" not in dict(result.metadata)
+        assert not [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_best_job_results_match_undecomposed_solve(self):
+        # The flat path must reproduce the Session.solve('best') result
+        # exactly: same schedule, same winner metadata.
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        job = ScheduleJob(
+            index=0, soc=soc.name, width=32, solver="best", options=SMALL_GRID
+        )
+        serial = run_jobs([job], context, workers=0)[0]
+        flat = run_jobs([job], context, workers=3)[0]
+        assert flat == serial
+        assert dict(flat.metadata) == dict(serial.metadata)
+        assert schedule_fingerprint(flat.schedule) == schedule_fingerprint(
+            serial.schedule
+        )
+
+
+class TestFlatFanOut:
+    """Best jobs decompose into parallel grid-run tasks (no nested pools)."""
+
+    def test_best_job_under_engine_runs_grid_in_parallel(self):
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        job = ScheduleJob(
+            index=0, soc=soc.name, width=32, solver="best", options=SMALL_GRID
+        )
+        results = run_jobs([job], context, workers=2)
+        stats = results.stats
+        assert stats is not None
+        assert stats.decomposed_jobs == 1
+        # The grid fan-out is visible as task count: one job, many tasks
+        # (the old nested-pool fallback ran the grid as a single task).
+        assert stats.tasks > 1
+        assert stats.workers == 2
+        assert not results.degraded_to_serial
+
+    def test_serial_path_reports_one_task_per_job(self):
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        jobs = [
+            ScheduleJob(index=0, soc=soc.name, width=16),
+            ScheduleJob(index=1, soc=soc.name, width=24),
+        ]
+        results = run_jobs(jobs, context, workers=0)
+        assert results.stats is not None
+        assert results.stats.tasks == results.stats.jobs == 2
+        assert results.stats.decomposed_jobs == 0
+
+    def test_best_job_with_unknown_option_raises_canonical_error(self):
+        # Undecomposable best jobs stay whole so the solver's own option
+        # validation fires, identically on the serial and parallel paths.
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        job = ScheduleJob(
+            index=0, soc=soc.name, width=16, solver="best",
+            options={"bogus": 1},
+        )
+        with pytest.raises(SolverError, match="does not understand options"):
+            run_jobs([job], context, workers=0)
+        with pytest.raises(SolverError, match="does not understand options"):
+            run_jobs([job], context, workers=2)
+
+
+class TestPoolLifecycle:
+    """The pool persists across calls and refreshes on context change."""
+
+    def test_pool_persists_for_same_context(self):
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        jobs = [ScheduleJob(index=i, soc=soc.name, width=w)
+                for i, w in enumerate((12, 16, 20, 24))]
+        with FlatExecutor() as executor:
+            executor.run_jobs(jobs, context, workers=2)
+            first_pool = executor._pool
+            assert first_pool is not None
+            executor.run_jobs(jobs, context, workers=2)
+            assert executor._pool is first_pool  # reused, not recreated
+            other = EngineContext.for_soc(get_benchmark("p34392"))
+            other_jobs = [ScheduleJob(index=0, soc="p34392", width=16),
+                          ScheduleJob(index=1, soc="p34392", width=20)]
+            executor.run_jobs(other_jobs, other, workers=2)
+            assert executor._pool is not first_pool  # context changed
+        assert not executor.pool_alive  # context manager closed it
+
+    def test_close_is_idempotent_and_executor_stays_usable(self):
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        jobs = [ScheduleJob(index=i, soc=soc.name, width=w)
+                for i, w in enumerate((12, 16))]
+        executor = FlatExecutor()
+        try:
+            serial = executor.run_jobs(jobs, context, workers=0)
+            executor.close()
+            executor.close()
+            again = executor.run_jobs(jobs, context, workers=2)
+            assert tuple(again) == tuple(serial)
+        finally:
+            executor.close()
+
+    def test_default_executor_is_shared(self):
+        assert get_default_executor() is get_default_executor()
+
+
+class TestObservableDegrade:
+    """Pool-creation failure warns and marks the results -- never silent."""
+
+    @pytest.fixture
+    def broken_pools(self, monkeypatch):
+        class BrokenContext:
+            def get_start_method(self):
+                return "fork"
+
+            def RawArray(self, *args, **kwargs):
+                raise OSError("no shared memory in this sandbox")
+
+            def Pool(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(
+            executor_module, "preferred_pool_context", lambda: BrokenContext()
+        )
+
+    def test_run_jobs_degrade_warns_and_flags(self, broken_pools):
+        soc = get_benchmark("d695")
+        context = EngineContext.for_soc(soc)
+        jobs = [ScheduleJob(index=i, soc=soc.name, width=w)
+                for i, w in enumerate((12, 16))]
+        with FlatExecutor() as executor:
+            serial = executor.run_jobs(jobs, context, workers=0)
+            assert not serial.degraded_to_serial
+            with pytest.warns(RuntimeWarning, match="degrading to the serial"):
+                degraded = executor.run_jobs(jobs, context, workers=4)
+        assert degraded.degraded_to_serial
+        assert degraded.stats.workers == 0
+        assert tuple(degraded) == tuple(serial)  # results stay identical
+
+    def test_grid_sweep_degrade_marks_metadata(self, broken_pools, monkeypatch):
+        # run_grid_sweep goes through the default executor; isolate it.
+        monkeypatch.setattr(executor_module, "_DEFAULT_EXECUTOR", None)
+        soc = get_benchmark("d695")
+        serial = run_grid_sweep(soc, 24, **SMALL_GRID)
+        with pytest.warns(RuntimeWarning, match="degrading to the serial"):
+            degraded = run_grid_sweep(soc, 24, workers=4, **SMALL_GRID)
+        assert degraded == serial  # flag excluded from equality
+        assert degraded.degraded_to_serial
+        assert degraded.metadata()["degraded_to_serial"] is True
+        assert "degraded_to_serial" not in serial.metadata()
+
+
+class TestPrecisePriming:
+    """Only the (SOC, width) pairs the job list references are warmed."""
+
+    def test_prime_pairs_warms_only_referenced_combinations(self):
+        small = get_benchmark("d695")
+        big = get_benchmark("p93791")
+        context = EngineContext(socs={small.name: small, big.name: big})
+        session = get_default_session()
+        session.clear_cache()
+        primed = prime_context_caches(context, {(small.name, 32)})
+        assert primed == len(small.cores)  # big SOC untouched
+        info = session.cache_info()
+        assert info.entries == 1
+
+    def test_prime_legacy_width_form_covers_every_soc(self):
+        small = get_benchmark("d695")
+        context = EngineContext.for_soc(small)
+        session = get_default_session()
+        session.clear_cache()
+        primed = prime_context_caches(context, (16,))
+        assert primed == len(small.cores)
+        assert session.cache_info().entries == 1
+
+    def test_run_jobs_primes_exactly_the_job_pairs(self):
+        small = get_benchmark("d695")
+        big = get_benchmark("p93791")
+        context = EngineContext(socs={small.name: small, big.name: big})
+        session = get_default_session()
+        session.clear_cache()
+        jobs = [ScheduleJob(index=0, soc=small.name, width=12)]
+        run_jobs(jobs, context, workers=0)
+        entries = session.cache_info().entries
+        # Only d695's (SOC, max-core-width) pair -- p93791 stays cold.
+        assert entries == 1
