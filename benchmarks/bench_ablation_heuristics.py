@@ -9,7 +9,6 @@ A3: the preemption limit (0 / 1 / 2 / 4) versus the si+so resume penalty.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import write_result
 from repro.analysis.reporting import format_table

@@ -64,10 +64,11 @@ def test_sweep_engine_speedup(results_dir, soc_name):
     assert parallel_rows == serial_rows, "parallel sweep must be bit-identical"
 
     speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    grid_jobs = 4 * 3 * len(GRID["percents"]) * len(GRID["deltas"]) * len(GRID["slacks"])
     report = "\n".join(
         [
             f"SOC                 : {soc_name}",
-            f"jobs in grid        : {4 * 3 * len(GRID['percents']) * len(GRID['deltas']) * len(GRID['slacks'])}",
+            f"jobs in grid        : {grid_jobs}",
             f"workers             : {WORKERS} (of {os.cpu_count()} cpus)",
             f"serial wall time    : {serial_time:.3f} s",
             f"parallel wall time  : {parallel_time:.3f} s",

@@ -48,7 +48,16 @@ import json
 import platform
 import sys
 import time
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.grid_sweep import run_best_schedule_reference, run_grid_sweep
 from repro.core.scheduler import SchedulerConfig
@@ -384,7 +393,7 @@ def run_solve_suite(
 TABLE_WORKERS = 4
 
 
-def _timed_cold(fn, repeats: int):
+def _timed_cold(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
     """Min-of-``repeats`` cold wall time of ``fn()`` plus its last result."""
     best: Optional[float] = None
     value = None
@@ -395,6 +404,7 @@ def _timed_cold(fn, repeats: int):
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     cold_reset()  # do not leak a warm pool into the next measurement
+    assert best is not None  # range(max(1, repeats)) ran at least once
     return best, value
 
 
@@ -417,7 +427,7 @@ def _table_best_measurements(
     phases: Dict[str, Dict[str, Any]] = {}
     makespans: Dict[str, int] = {}
 
-    def timed_flat(fn):
+    def timed_flat(fn: Callable[[], Any]) -> Tuple[float, Any, bool]:
         """Cold-time a parallel run, recording whether it degraded.
 
         Without the marker a pool-less sandbox would silently label a
@@ -531,7 +541,9 @@ def run_sweep_suite(
     }
 
 
-def run_suite(suite: str, soc_names: Optional[Sequence[str]] = None, **kwargs: Any) -> Dict[str, Any]:
+def run_suite(
+    suite: str, soc_names: Optional[Sequence[str]] = None, **kwargs: Any
+) -> Dict[str, Any]:
     """Dispatch one named suite (``curves``, ``solve`` or ``sweep``)."""
     if suite == "curves":
         return run_curves_suite(soc_names or ("d695",), **kwargs)

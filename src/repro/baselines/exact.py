@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import warnings
 from itertools import permutations, product
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.core.scheduler import SchedulerConfig

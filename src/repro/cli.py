@@ -32,7 +32,14 @@ Subcommands
     emit a machine-readable ``BENCH_<suite>.json`` report: per-phase wall
     times, cache statistics and schedule makespans for integrity.
     ``--check-golden FILE`` fails (exit 1) when makespans or schedule
-    fingerprints drift from the checked-in golden values.
+    fingerprints drift from the checked-in golden values.  Refuses to
+    write the report while the wire format has unreviewed drift (REP005).
+``lint``
+    Run the determinism & fork-safety static-analysis suite
+    (:mod:`repro.staticcheck`) over the source tree; ``--json`` emits the
+    findings as JSON, ``--list-rules`` documents the rule set, and
+    ``--write-wire-schema`` regenerates the pinned wire-format snapshot
+    after a reviewed change.
 """
 
 from __future__ import annotations
@@ -43,7 +50,8 @@ import dataclasses
 import io
 import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import figure1_staircase, run_table1, run_table2
 from repro.analysis.export import save_csv, sweep_to_csv, table1_to_csv, table2_to_csv
@@ -58,7 +66,9 @@ from repro.core.scheduler import SchedulerConfig
 from repro.engine.api import parallel_tam_sweep_results
 from repro.schedule.gantt import render_gantt
 from repro.soc.benchmarks import get_benchmark, list_benchmarks
+from repro.soc.constraints import ConstraintSet
 from repro.soc.itc02 import load_soc
+from repro.soc.soc import Soc
 from repro.solvers import (
     ScheduleRequest,
     SolverError,
@@ -67,7 +77,7 @@ from repro.solvers import (
 )
 
 
-def _load(args: argparse.Namespace):
+def _load(args: argparse.Namespace) -> Tuple[Soc, Optional[ConstraintSet]]:
     """Resolve the SOC named on the command line (benchmark name or file path)."""
     name = args.soc
     if name in list_benchmarks():
@@ -227,7 +237,9 @@ def _export(args: argparse.Namespace, csv_text: str, records: List[dict]) -> Non
         print(f"wrote {args.json}")
 
 
-def _sweep_widths(args: argparse.Namespace, min_width: int, max_width: int) -> tuple:
+def _sweep_widths(
+    args: argparse.Namespace, min_width: int, max_width: int
+) -> Tuple[int, ...]:
     """Resolve the width range, falling back to per-experiment defaults."""
     low = args.min_width if args.min_width is not None else min_width
     high = args.max_width if args.max_width is not None else max_width
@@ -319,6 +331,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(perf.summarize(report))
     json_path = args.json
     if json_path is not None:
+        # Freeze gate: a BENCH_*.json written while the wire format has
+        # unreviewed drift would pin numbers nobody can reproduce from the
+        # frozen schema.  Refuse until the snapshot is regenerated.
+        from repro.staticcheck import default_wire_drifts
+
+        wire_drifts = default_wire_drifts()
+        if wire_drifts:
+            for drift in wire_drifts:
+                print(f"WIRE DRIFT (REP005): {drift}", file=sys.stderr)
+            print(
+                "error: refusing to write the bench report while the wire "
+                "format has unreviewed drift; run 'repro lint', review, then "
+                "'repro lint --write-wire-schema'",
+                file=sys.stderr,
+            )
+            return 1
         if json_path == "":
             json_path = f"BENCH_{args.suite}.json"
         perf.write_report(report, json_path)
@@ -332,6 +360,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"golden check against {args.check_golden}: OK")
     return 0
+
+
+def _lint_defaults() -> Tuple[Optional[Path], List[Path], Tuple[Path, ...]]:
+    """Checkout-aware lint defaults: (repo root, default paths, source roots).
+
+    Inside a checkout (or an install that ships ``benchmarks/wire_schema.json``
+    above the package) the suite lints ``src/repro`` against the pinned
+    schema; outside one, paths must be given explicitly and only the
+    project-independent rules are meaningful.
+    """
+    from repro import staticcheck
+
+    import repro
+
+    root = staticcheck.schema.repo_root_for(Path(repro.__file__))
+    if root is None:
+        package_dir = Path(repro.__file__).resolve().parent
+        return None, [package_dir], (package_dir.parent,)
+    return root, [root / "src" / "repro"], (root / "src", root)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro import staticcheck
+
+    registry = staticcheck.default_rule_registry()
+    if args.list_rules:
+        print(registry.describe())
+        return 0
+
+    root, default_paths, source_roots = _lint_defaults()
+    schema_path = (
+        Path(args.schema)
+        if args.schema
+        else (root / staticcheck.DEFAULT_SCHEMA_RELPATH if root is not None else None)
+    )
+
+    if args.write_wire_schema:
+        if schema_path is None:
+            print(
+                "error: no checkout found and no --schema given; cannot tell "
+                "where to write the wire schema",
+                file=sys.stderr,
+            )
+            return 2
+        staticcheck.write_schema(schema_path, source_roots)
+        print(f"wrote {schema_path}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else default_paths
+    select = args.rule if args.rule else None
+    try:
+        report = staticcheck.run_lint(
+            paths,
+            select=select,
+            ignore=args.ignore or (),
+            registry=registry,
+            schema_path=schema_path,
+            source_roots=source_roots,
+            display_root=root,
+        )
+    except staticcheck.LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json is not None:
+        payload = staticcheck.findings_to_json(report.findings)
+        if args.json == "":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+    else:
+        for finding in report.findings:
+            print(finding.render())
+    summary = (
+        f"checked {report.checked_files} file(s) with "
+        f"{len(report.rules)} rule(s): {len(report.findings)} finding(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    print(summary, file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -475,6 +587,61 @@ def build_parser() -> argparse.ArgumentParser:
         "exit 1 on drift",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism & fork-safety static-analysis suite",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the checkout's src/repro)",
+    )
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="CODE",
+        help="run only this rule (repeatable), e.g. --rule REP001",
+    )
+    p_lint.add_argument(
+        "--select",
+        dest="rule",
+        action="append",
+        metavar="CODE",
+        help="alias for --rule",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="drop this rule from the selection (repeatable)",
+    )
+    p_lint.add_argument(
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="emit findings as JSON (bare --json prints to stdout)",
+    )
+    p_lint.add_argument(
+        "--schema",
+        metavar="FILE",
+        help="wire-format snapshot to check against "
+        "(default: the checkout's benchmarks/wire_schema.json)",
+    )
+    p_lint.add_argument(
+        "--write-wire-schema",
+        action="store_true",
+        help="regenerate the pinned wire-format snapshot from the current "
+        "tree (after reviewing the wire change) and exit",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -50,7 +50,18 @@ import dataclasses
 import heapq
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
@@ -294,7 +305,7 @@ class _Scheduler:
         self._bist_in_use: Dict[str, int] = {}
         self._completion_heap: List[Tuple[int, str, _CoreState]] = []
         self._concurrency = frozenset(constraints.concurrency)
-        self._pending_preds: Dict[str, set] = {}
+        self._pending_preds: Dict[str, Set[str]] = {}
         self._successors: Dict[str, List[str]] = {}
         for before, after in constraints.precedence:
             if before in self.states and after in self.states:
@@ -588,7 +599,8 @@ class _Scheduler:
             return not entry[2].begun
 
         def live_top(
-            heap: List[Tuple[int, int, _CoreState]], valid
+            heap: List[Tuple[int, int, _CoreState]],
+            valid: Callable[[Tuple[int, int, _CoreState]], bool],
         ) -> Optional[Tuple[int, int, _CoreState]]:
             while heap:
                 if valid(heap[0]):

@@ -19,7 +19,7 @@ preempted) is a contiguous run of one core's test at a fixed TAM width.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.soc.constraints import ConstraintSet
 from repro.soc.soc import Soc

@@ -245,9 +245,14 @@ class ConstraintSet:
         power_values = [p for p in (self.power_max, other.power_max) if p is not None]
         preemptions = dict(self.max_preemptions)
         preemptions.update(other.max_preemptions)
+        # The unions are deduplicating sets; sort them back into a total
+        # order (frozenset pairs via their sorted members) so the merged
+        # tuples are identical regardless of hash seed.
         return ConstraintSet(
-            precedence=tuple(set(self.precedence) | set(other.precedence)),
-            concurrency=tuple(set(self.concurrency) | set(other.concurrency)),
+            precedence=tuple(sorted(set(self.precedence) | set(other.precedence))),
+            concurrency=tuple(
+                sorted(set(self.concurrency) | set(other.concurrency), key=sorted)
+            ),
             power_max=min(power_values) if power_values else None,
             max_preemptions=preemptions,
             default_preemptions=max(self.default_preemptions, other.default_preemptions),

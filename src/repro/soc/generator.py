@@ -50,7 +50,13 @@ class GeneratorProfile:
             raise ValueError("max_scan_chains must be at least 1")
         if not 1 <= self.min_io <= self.max_io:
             raise ValueError("I/O bounds must satisfy 1 <= min <= max")
-        for name in ("bidir_fraction", "combinational_fraction", "hierarchy_fraction", "bist_fraction"):
+        fraction_names = (
+            "bidir_fraction",
+            "combinational_fraction",
+            "hierarchy_fraction",
+            "bist_fraction",
+        )
+        for name in fraction_names:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must lie in [0, 1]")

@@ -1,0 +1,81 @@
+"""Determinism & fork-safety static analysis (the ``repro lint`` suite).
+
+An AST-based lint engine purpose-built for this repository's reproduction
+contract: schedules, Table rows and sweep winners must be byte-identical
+across runs, worker counts and platforms.  The general-purpose linters
+(ruff, mypy) run alongside in CI; this package checks the properties they
+cannot see -- hash-order iteration feeding schedule output, ambient
+process state in solver code, float equality on makespan arithmetic,
+fork-hostile executor payloads, wire-format drift and registry hygiene.
+
+Public surface::
+
+    from repro.staticcheck import run_lint, Finding
+
+    report = run_lint([Path("src/repro")])
+    for finding in report.findings:
+        print(finding.render())
+
+Rules are plugins (the solver-registry idiom): subclass
+:class:`~repro.staticcheck.engine.LintRule`, decorate with
+:func:`~repro.staticcheck.engine.register_rule`, and the engine picks the
+rule up by its ``REPnnn`` code.
+"""
+
+from repro.staticcheck.engine import (
+    ENGINE_RULE,
+    LintError,
+    LintReport,
+    LintRule,
+    ModuleContext,
+    ProjectContext,
+    RuleInfo,
+    RuleRegistry,
+    default_rule_registry,
+    discover_files,
+    load_module_context,
+    parse_suppressions,
+    register_rule,
+    run_lint,
+)
+from repro.staticcheck.findings import (
+    Finding,
+    findings_from_json,
+    findings_to_json,
+)
+from repro.staticcheck.schema import (
+    DEFAULT_SCHEMA_RELPATH,
+    WIRE_CLASSES,
+    WireSchemaError,
+    check_wire_drift,
+    default_wire_drifts,
+    generate_schema,
+    write_schema,
+)
+
+__all__ = [
+    "ENGINE_RULE",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "ProjectContext",
+    "RuleInfo",
+    "RuleRegistry",
+    "default_rule_registry",
+    "discover_files",
+    "load_module_context",
+    "parse_suppressions",
+    "register_rule",
+    "run_lint",
+    "Finding",
+    "findings_from_json",
+    "findings_to_json",
+    "DEFAULT_SCHEMA_RELPATH",
+    "WIRE_CLASSES",
+    "WireSchemaError",
+    "check_wire_drift",
+    "default_wire_drifts",
+    "generate_schema",
+    "write_schema",
+]

@@ -1,0 +1,459 @@
+"""The AST lint engine behind ``repro lint``.
+
+The engine mirrors the solver layer's architecture on purpose: rules are
+small plugins registered by decorator into a process-wide
+:class:`RuleRegistry` (exactly the :func:`~repro.solvers.registry.register_solver`
+idiom), the engine owns discovery/parsing/suppression, and the output is a
+list of frozen, JSON-round-trippable :class:`~repro.staticcheck.findings.Finding`
+records.
+
+Two kinds of checks exist:
+
+* **module rules** (:meth:`LintRule.check_module`) run once per parsed
+  source file and see a :class:`ModuleContext` (path, AST, source lines and
+  a *scope hint* -- the file's path relative to the ``repro`` package, used
+  to restrict determinism rules to the modules that feed schedule output);
+* **project rules** (:meth:`LintRule.check_project`) run once per lint
+  invocation and see a :class:`ProjectContext` -- the wire-format freeze
+  check (REP005) lives here, diffing dataclass shapes against the pinned
+  ``benchmarks/wire_schema.json`` snapshot.
+
+False positives are suppressed inline with ``# repro: noqa REP00x`` (one
+or more comma/space-separated codes).  A bare ``# repro: noqa`` -- a
+*blanket* suppression -- is itself reported as a finding (rule ``REP000``):
+the acceptance bar for this suite is "zero blanket suppressions", so the
+engine enforces it rather than trusting review to catch it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.staticcheck.findings import Finding
+
+#: Matches a ``repro: noqa`` comment with an optional code list.  The
+#: colon after ``repro`` is required: it namespaces the pragma away from
+#: the standard noqa comments that ruff/flake8 own.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b:?\s*(?P<codes>[A-Z][A-Z0-9]*(?:[,\s]+[A-Z][A-Z0-9]*)*)?"
+)
+
+#: Rule code reserved for the engine itself (blanket-suppression policing).
+ENGINE_RULE = "REP000"
+
+
+class LintError(ValueError):
+    """Raised for unknown rules, unreadable paths or bad engine input."""
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a module rule may look at for one source file.
+
+    ``module`` is the scope hint: the file's path relative to the ``repro``
+    package root (e.g. ``"core/scheduler.py"``) when the file lives inside
+    one, else ``""``.  Rules with declared scopes skip files whose hint is
+    non-empty and matches none of their prefixes; files *outside* a
+    recognised package layout (fixtures, ad-hoc scripts) always see every
+    rule, which keeps the rule fixtures in ``tests/`` trivial.
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """Everything a project rule may look at for one lint invocation."""
+
+    source_roots: Tuple[Path, ...]
+    schema_path: Optional[Path]
+
+
+class LintRule:
+    """Base class for lint rules (subclass and register with ``@register_rule``).
+
+    Subclasses set ``code``/``name``/``description`` (the registry entry)
+    and ``scopes`` (path prefixes relative to the ``repro`` package root;
+    empty means every file) and override :meth:`check_module` and/or
+    :meth:`check_project`.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        """True when this rule should run on a file with scope hint ``module``."""
+        if not self.scopes or not module:
+            return True
+        return module.startswith(self.scopes)
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed source file (default: none)."""
+        return iter(())
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        """Yield project-wide findings, once per invocation (default: none)."""
+        return iter(())
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding of this rule at an AST node's location."""
+        return Finding(
+            path=context.display_path,
+            line=int(getattr(node, "lineno", 1)),
+            column=int(getattr(node, "col_offset", 0)),
+            rule=self.code,
+            severity=self.severity,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One registry entry: the canonical code, factory and description."""
+
+    code: str
+    factory: Callable[[], LintRule]
+    name: str
+    description: str
+
+
+class RuleRegistry:
+    """A mutable mapping of rule codes to rule factories.
+
+    The exact shape of :class:`~repro.solvers.registry.SolverRegistry`,
+    applied to lint rules: register by decorator, look up by code,
+    ``describe()`` for the CLI listing.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RuleInfo] = {}
+
+    def register(
+        self,
+        code: str,
+        factory: Callable[[], LintRule],
+        name: str,
+        description: str,
+        replace: bool = False,
+    ) -> RuleInfo:
+        """Register a rule factory under ``code`` (``REPnnn``)."""
+        key = code.strip().upper()
+        if not re.fullmatch(r"REP\d{3}", key):
+            raise LintError(f"rule code must look like REP001, got {code!r}")
+        if key in self._entries and not replace:
+            raise LintError(
+                f"rule {key!r} is already registered; pass replace=True to override"
+            )
+        info = RuleInfo(code=key, factory=factory, name=name, description=description)
+        self._entries[key] = info
+        return info
+
+    def codes(self) -> List[str]:
+        """All registered rule codes, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, code: object) -> bool:
+        return isinstance(code, str) and code.strip().upper() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self, code: str) -> RuleInfo:
+        """The registry entry for one rule (unknown codes raise)."""
+        key = code.strip().upper()
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise LintError(f"unknown rule {code!r}; known: {self.codes()}") from None
+
+    def create(self, code: str) -> LintRule:
+        """Instantiate one rule."""
+        return self.info(code).factory()
+
+    def create_all(self, select: Optional[Sequence[str]] = None) -> List[LintRule]:
+        """Instantiate the selected rules (all of them by default)."""
+        codes = self.codes() if select is None else [self.info(c).code for c in select]
+        return [self.create(code) for code in codes]
+
+    def describe(self) -> str:
+        """Multi-line listing of every rule (the ``repro lint --list-rules`` output)."""
+        if not self._entries:
+            return "(no rules registered)"
+        width = max(len(info.name) for info in self._entries.values())
+        lines = []
+        for code in self.codes():
+            info = self._entries[code]
+            lines.append(f"{info.code}  {info.name:<{width}}  {info.description}")
+        return "\n".join(lines)
+
+
+# The process-wide registry the built-in rules register into.
+_DEFAULT_REGISTRY = RuleRegistry()
+
+
+def default_rule_registry() -> RuleRegistry:
+    """The process-wide default registry (with all built-in rules)."""
+    # Importing the rules lazily avoids a cycle at package import time
+    # while guaranteeing the default registry is always populated --
+    # exactly the solver registry's bootstrap idiom.
+    import repro.staticcheck.rules  # noqa: F401
+
+    return _DEFAULT_REGISTRY
+
+
+def register_rule(
+    cls: Optional[Type[LintRule]] = None,
+    *,
+    registry: Optional[RuleRegistry] = None,
+    replace: bool = False,
+) -> Callable[[Type[LintRule]], Type[LintRule]]:
+    """Class decorator registering a :class:`LintRule` subclass.
+
+    Usable bare (``@register_rule``) or parameterised
+    (``@register_rule(registry=...)``); reads ``code``/``name``/
+    ``description`` from the class attributes.
+    """
+
+    def decorate(rule_cls: Type[LintRule]) -> Type[LintRule]:
+        target = registry if registry is not None else _DEFAULT_REGISTRY
+        target.register(
+            rule_cls.code,
+            rule_cls,
+            name=rule_cls.name or rule_cls.__name__,
+            description=rule_cls.description,
+            replace=replace,
+        )
+        return rule_cls
+
+    if cls is not None:  # bare @register_rule
+        return decorate(cls)
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Suppression (# repro: noqa REP00x)
+# ----------------------------------------------------------------------
+def parse_suppressions(
+    source: str, display_path: str
+) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Per-line suppression codes, plus findings for blanket suppressions.
+
+    Returns ``(suppressions, blanket_findings)`` where ``suppressions``
+    maps 1-based line numbers to the set of rule codes suppressed there.
+    A bare ``repro: noqa`` comment with no codes suppresses nothing and is
+    reported as a :data:`ENGINE_RULE` finding instead.
+
+    Only real ``COMMENT`` tokens count -- the source is tokenized, so a
+    pragma *mentioned* inside a docstring or string literal (as this very
+    module does) neither suppresses nor trips the blanket check.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    blanket: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions, blanket  # the file already parsed; be lenient
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno, start_column = token.start
+        codes = match.group("codes")
+        if not codes:
+            blanket.append(
+                Finding(
+                    path=display_path,
+                    line=lineno,
+                    column=start_column + match.start(),
+                    rule=ENGINE_RULE,
+                    severity="error",
+                    message=(
+                        "blanket 'repro: noqa' suppressions are forbidden; "
+                        "name the suppressed rule(s), e.g. 'repro: noqa REP001'"
+                    ),
+                )
+            )
+            continue
+        suppressions.setdefault(lineno, set()).update(
+            code for code in re.split(r"[,\s]+", codes) if code
+        )
+    return suppressions, blanket
+
+
+# ----------------------------------------------------------------------
+# Discovery and execution
+# ----------------------------------------------------------------------
+def _scope_hint(path: Path) -> str:
+    """The path relative to the ``repro`` package root, or ``""``.
+
+    Recognises both an installed/ checked-out ``.../repro/<module>`` layout
+    and the conventional ``src/repro/`` source tree.  Files outside any
+    ``repro`` package get the empty hint (every rule applies).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index - 1] == "repro" and (
+            index == 1 or parts[index - 2] in ("src", "site-packages")
+        ):
+            return "/".join(parts[index:])
+    return ""
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            found.add(path)
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def load_module_context(path: Path, root: Optional[Path] = None) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext` (syntax errors raise)."""
+    source = Path(path).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {path}: {error}") from error
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(Path(path).resolve().relative_to(Path(root).resolve()))
+        except ValueError:
+            display = str(path)
+    return ModuleContext(
+        path=Path(path),
+        display_path=display,
+        module=_scope_hint(Path(path)),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one :func:`run_lint` invocation."""
+
+    findings: Tuple[Finding, ...]
+    checked_files: int
+    suppressed: int
+    rules: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding of severity ``error`` survived."""
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Sequence[str] = (),
+    registry: Optional[RuleRegistry] = None,
+    schema_path: Optional[Path] = None,
+    source_roots: Sequence[Path] = (),
+    display_root: Optional[Path] = None,
+) -> LintReport:
+    """Run the lint suite over ``paths`` and return the surviving findings.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to lint (directories recurse over ``*.py``).
+    select:
+        Rule codes to run (default: every registered rule).
+    ignore:
+        Rule codes to drop from the selection.
+    registry:
+        Rule registry to draw from (default: the process-wide registry).
+    schema_path:
+        Pinned wire-schema snapshot for the freeze check (REP005); ``None``
+        lets the rule report the snapshot as missing when it is selected.
+    source_roots:
+        Import roots used to resolve the schema's module keys to files
+        (default: derived from the linted paths).
+    display_root:
+        Paths in findings are reported relative to this directory.
+    """
+    rules_registry = registry if registry is not None else default_rule_registry()
+    rules = rules_registry.create_all(select)
+    ignored = {rules_registry.info(code).code for code in ignore}
+    rules = [rule for rule in rules if rule.code not in ignored]
+
+    files = discover_files(paths)
+    roots = tuple(Path(r) for r in source_roots)
+    if not roots:
+        roots = tuple(sorted({_default_source_root(path) for path in files}))
+    project = ProjectContext(source_roots=roots, schema_path=schema_path)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    for path in files:
+        context = load_module_context(path, root=display_root)
+        suppressions, blanket = parse_suppressions(
+            context.source, context.display_path
+        )
+        findings.extend(blanket)
+        for rule in rules:
+            if not rule.applies_to(context.module):
+                continue
+            for finding in rule.check_module(context):
+                if finding.rule in suppressions.get(finding.line, ()):
+                    suppressed += 1
+                    continue
+                findings.append(finding)
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        checked_files=len(files),
+        suppressed=suppressed,
+        rules=tuple(rule.code for rule in rules),
+    )
+
+
+def _default_source_root(path: Path) -> Path:
+    """The import root implied by a linted path (the dir above ``repro``)."""
+    resolved = Path(path).resolve()
+    for parent in resolved.parents:
+        if parent.name == "repro":
+            return parent.parent
+    return resolved.parent

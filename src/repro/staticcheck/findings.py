@@ -1,0 +1,105 @@
+"""The lint suite's result type: one :class:`Finding` per rule violation.
+
+A finding pins a rule violation to a file and line with a severity and a
+human-readable message.  Findings are frozen, totally ordered (by path,
+line, column, rule) and JSON-round-trippable -- the same contract the
+solver layer's :class:`~repro.solvers.request.ScheduleResult` follows, so
+``repro lint --json`` output is stable enough to diff in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+#: The two severities the suite distinguishes.  Every shipped rule reports
+#: ``error`` (the CI gate is binary); ``warning`` exists for downstream
+#: rules that want advisory output without failing the build.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Parameters
+    ----------
+    path:
+        Path of the offending file, as given to the engine (repo-relative
+        when linting a checkout).
+    line:
+        1-based line number of the violation.
+    column:
+        0-based column offset (AST convention).
+    rule:
+        Rule code, e.g. ``"REP001"``.
+    severity:
+        ``"error"`` or ``"warning"``.
+    message:
+        Human-readable description of the violation and the expected fix.
+    """
+
+    path: str
+    line: int
+    column: int = field(default=0)
+    rule: str = field(default="")
+    severity: str = field(default="error")
+    message: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.line < 1:
+            raise ValueError(f"line must be 1-based, got {self.line}")
+
+    def render(self) -> str:
+        """The human-readable single-line form (``path:line: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.rule} {self.message}"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict form (round-trips through :meth:`from_dict`)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data.get("column", 0)),
+            rule=str(data.get("rule", "")),
+            severity=str(data.get("severity", "error")),
+            message=str(data.get("message", "")),
+        )
+
+
+def findings_to_json(findings: Sequence[Finding], indent: int = 2) -> str:
+    """Serialise a finding list to the ``repro lint --json`` payload."""
+    return json.dumps(
+        {
+            "version": 1,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Rebuild a finding list from :func:`findings_to_json` output."""
+    payload = json.loads(text)
+    return [Finding.from_dict(entry) for entry in payload.get("findings", ())]

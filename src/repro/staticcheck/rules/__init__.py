@@ -1,0 +1,30 @@
+"""The built-in lint rules (REP001-REP006).
+
+Importing this package registers every rule into the process-wide
+:func:`~repro.staticcheck.engine.default_rule_registry` -- the exact
+bootstrap idiom of :mod:`repro.solvers.builtin`.
+
+=========  ==============================================================
+REP001     Nondeterministic iteration over a ``set``/``frozenset`` (or a
+           partial-order sort key) in modules that feed schedule output.
+REP002     Unseeded ``random`` / wall-clock (``time.time``,
+           ``datetime.now``) use inside solver or kernel code.
+REP003     Float ``==``/``!=`` comparisons in makespan/width arithmetic.
+REP004     Fork-unsafe ``FlatExecutor`` payloads: lambdas/closures/bound
+           methods submitted as tasks, mutable module globals mutated
+           outside worker initializers.
+REP005     Wire-format freeze: dataclass shapes must match the pinned
+           ``benchmarks/wire_schema.json`` snapshot.
+REP006     Registry hygiene: every ``@register_solver`` declares
+           capabilities and a docstring.
+=========  ==============================================================
+"""
+
+from repro.staticcheck.rules import (  # noqa: F401  (imported for registration)
+    rep001_iteration,
+    rep002_wallclock,
+    rep003_floateq,
+    rep004_forksafety,
+    rep005_wireschema,
+    rep006_registry,
+)

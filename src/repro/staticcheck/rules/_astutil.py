@@ -1,0 +1,223 @@
+"""Shared AST helpers for the built-in rules.
+
+The helpers implement a deliberately *shallow* intra-function dataflow:
+a name counts as set-typed only when the nearest assignment in the same
+function (or at module level) is syntactically a set expression.  That is
+enough to catch the real hazard -- values that are sets *by construction*
+being iterated -- without attempting type inference; anything deeper is
+mypy's job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Builtins producing sets.
+SET_CONSTRUCTORS = ("set", "frozenset")
+
+#: Builtins whose consumption of a set is order-insensitive (or ordering).
+ORDER_SAFE_CONSUMERS = (
+    "sorted",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "bool",
+)
+
+
+def walk_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_name(node: ast.expr) -> str:
+    """The trailing identifier of a call target (``a.b.c(...)`` -> ``"c"``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` rendered as a dotted string, or ``""`` for other shapes."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_set_expression(node: ast.expr, set_names: Set[str]) -> bool:
+    """True when ``node`` is a set *by construction*.
+
+    Recognises set/frozenset literals, comprehensions and constructor
+    calls, names whose nearest assignment was one of those, and the set
+    operators ``| & - ^`` applied to any such operand.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node.func) in SET_CONSTRUCTORS:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expression(node.left, set_names) or is_set_expression(
+            node.right, set_names
+        )
+    return False
+
+
+def collect_set_names(body: List[ast.stmt]) -> Set[str]:
+    """Names whose last simple assignment in ``body`` is a set expression.
+
+    Statement-ordered single pass over one scope's direct statements (no
+    descent into nested functions): an assignment to a set expression adds
+    the name, any other assignment to the same name removes it.
+    """
+    names: Set[str] = set()
+
+    def scan(statements: List[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                is_set = is_set_expression(statement.value, names)
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        (names.add if is_set else names.discard)(target.id)
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if isinstance(target, ast.Name):
+                    annotation = ast.unparse(statement.annotation)
+                    is_set = annotation.split("[")[0].strip().lower() in (
+                        "set",
+                        "frozenset",
+                        "typing.set",
+                        "typing.frozenset",
+                    ) or (
+                        statement.value is not None
+                        and is_set_expression(statement.value, names)
+                    )
+                    (names.add if is_set else names.discard)(target.id)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes track their own names
+            else:
+                # Recurse into compound statements' bodies in order.
+                for field_name in ("body", "orelse", "finalbody"):
+                    inner = getattr(statement, field_name, None)
+                    if isinstance(inner, list):
+                        scan([s for s in inner if isinstance(s, ast.stmt)])
+                handlers = getattr(statement, "handlers", None)
+                if handlers:
+                    for handler in handlers:
+                        scan([s for s in handler.body if isinstance(s, ast.stmt)])
+
+    scan(body)
+    return names
+
+
+def module_set_names(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to set expressions."""
+    return collect_set_names(tree.body)
+
+
+def scope_bodies(tree: ast.Module) -> List[Tuple[List[ast.stmt], Set[str]]]:
+    """Each scope's statements paired with its known set-typed names.
+
+    Module scope first, then every function scope; function scopes inherit
+    the module-level set names (shadowing by non-set assignment is handled
+    by :func:`collect_set_names` processing the function body afterwards).
+    """
+    module_names = module_set_names(tree)
+    scopes: List[Tuple[List[ast.stmt], Set[str]]] = [(tree.body, module_names)]
+    for function in walk_functions(tree):
+        names = set(module_names)
+        names |= {
+            # Parameters annotated as sets count too.
+            arg.arg
+            for arg in (
+                function.args.posonlyargs + function.args.args + function.args.kwonlyargs
+            )
+            if arg.annotation is not None
+            and ast.unparse(arg.annotation).split("[")[0].strip().lower()
+            in ("set", "frozenset", "typing.set", "typing.frozenset")
+        }
+        names |= collect_set_names(function.body)
+        scopes.append((function.body, names))
+    return scopes
+
+
+def walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk one scope's nodes without descending into nested functions.
+
+    Yields every node reachable from ``body`` except the interiors of
+    nested function/async-function definitions (those are separate scopes
+    with their own name bindings).
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closure carriers)."""
+    nested: Set[str] = set()
+    for function in walk_functions(tree):
+        for node in ast.walk(function):
+            if node is function:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+    return nested
+
+
+def module_level_mutable_globals(tree: ast.Module) -> Dict[str, int]:
+    """Module-level names bound to mutable containers, with their lines.
+
+    A name counts when its module-level assignment is a ``dict``/``list``/
+    ``set`` literal, comprehension or constructor call -- the containers a
+    forked worker would silently diverge on when mutated post-fork.
+    """
+    mutable: Dict[str, int] = {}
+    for statement in tree.body:
+        targets: List[ast.expr] = []
+        value: ast.expr
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        is_mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and call_name(value.func) in ("dict", "list", "set", "defaultdict", "deque")
+        )
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable[target.id] = statement.lineno
+    return mutable

@@ -1,0 +1,124 @@
+"""REP001: nondeterministic iteration in modules that feed schedule output.
+
+CPython iterates sets in hash order, and for strings the hash is salted
+per process (``PYTHONHASHSEED``), so *any* observable ordering derived
+from a ``set``/``frozenset`` -- a ``for`` loop, a comprehension, a
+``tuple(...)``/``list(...)`` conversion -- can differ between two runs,
+between the parent and a spawned worker, or between warm and cold caches.
+The whole perf story of this repository rests on schedules and sweep
+winners being byte-identical across ``workers`` counts, so set iteration
+must be laundered through ``sorted(...)`` with a total-order key before
+it can reach output.
+
+Also flagged: ``sorted``/``.sort`` with a *partial-order* key
+(``key=frozenset``/``key=set`` or a lambda returning a set) -- for
+frozensets ``<`` means subset, which is not a total order, so the result
+order still depends on the input order.
+
+Suppress deliberate order-insensitive iteration with
+``# repro: noqa REP001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.staticcheck.engine import Finding, LintRule, ModuleContext, register_rule
+from repro.staticcheck.rules._astutil import (
+    ORDER_SAFE_CONSUMERS,
+    call_name,
+    is_set_expression,
+    scope_bodies,
+    walk_scope,
+)
+
+#: ``tuple(s)``/``list(s)`` materialise the set's hash order; ``iter``/
+#: ``enumerate`` and ``str.join`` consume it element-by-element.
+ORDER_SENSITIVE_CONSUMERS = ("tuple", "list", "iter", "enumerate", "join")
+
+
+@register_rule
+class NondeterministicIterationRule(LintRule):
+    """Iterating a set/frozenset (or sorting with a partial-order key)."""
+
+    code = "REP001"
+    name = "nondeterministic-iteration"
+    description = (
+        "set/frozenset iteration order (hash order, salted per process) must "
+        "not feed schedule output; wrap in sorted(...) with a total-order key"
+    )
+    scopes = (
+        "core/",
+        "wrapper/",
+        "engine/",
+        "solvers/",
+        "schedule/",
+        "soc/",
+        "baselines/",
+    )
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        for body, set_names in scope_bodies(context.tree):
+            reported: Set[Tuple[int, int]] = set()
+
+            def report(node: ast.AST, message: str) -> Iterator[Finding]:
+                key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+                if key not in reported:
+                    reported.add(key)
+                    yield self.finding(context, node, message)
+
+            for node in walk_scope(body):
+                if isinstance(node, ast.For) and is_set_expression(
+                    node.iter, set_names
+                ):
+                    yield from report(
+                        node.iter,
+                        "iterating a set/frozenset yields hash order; "
+                        "iterate sorted(...) instead",
+                    )
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for generator in node.generators:
+                        if is_set_expression(generator.iter, set_names):
+                            # A generator feeding a set/dict comprehension is
+                            # order-insensitive only if the *result* is a
+                            # set/dict; list/generator results leak order.
+                            if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                                yield from report(
+                                    generator.iter,
+                                    "comprehension over a set/frozenset yields "
+                                    "hash order; iterate sorted(...) instead",
+                                )
+                elif isinstance(node, ast.Call):
+                    name = call_name(node.func)
+                    if (
+                        name in ORDER_SENSITIVE_CONSUMERS
+                        and name not in ORDER_SAFE_CONSUMERS
+                        and node.args
+                        and is_set_expression(node.args[0], set_names)
+                    ):
+                        yield from report(
+                            node.args[0],
+                            f"{name}(...) over a set/frozenset materialises "
+                            "hash order; wrap the set in sorted(...) first",
+                        )
+                    elif name in ("sorted", "sort"):
+                        for keyword in node.keywords:
+                            if keyword.arg == "key" and _is_partial_order_key(
+                                keyword.value, set_names
+                            ):
+                                yield from report(
+                                    keyword.value,
+                                    "sort key returns a set/frozenset, whose "
+                                    "'<' is subset (a partial order); use a "
+                                    "total-order key such as key=sorted",
+                                )
+
+
+def _is_partial_order_key(node: ast.expr, set_names: Set[str]) -> bool:
+    """True when a ``key=`` argument maps elements to sets."""
+    if isinstance(node, ast.Name) and node.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Lambda):
+        return is_set_expression(node.body, set_names)
+    return False

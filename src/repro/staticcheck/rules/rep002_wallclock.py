@@ -1,0 +1,125 @@
+"""REP002: unseeded randomness and wall-clock reads in solver/kernel code.
+
+A schedule, Table row or sweep winner must be a pure function of the
+request.  ``random.random()`` (the module-level, process-seeded generator),
+``random.Random()`` *without* a seed, ``random.seed()`` without arguments,
+``time.time``/``time.time_ns`` and ``datetime.now``/``utcnow``/``today``
+all smuggle ambient process state into the computation.  ``time.perf_counter``
+and ``time.monotonic`` stay legal: they feed *timing metadata*
+(``wall_time`` is excluded from result equality), not result content.
+
+The fix is always the same: thread an explicit seed (``random.Random(seed)``)
+or take the timestamp at the reporting layer, outside solver code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.staticcheck.engine import Finding, LintRule, ModuleContext, register_rule
+from repro.staticcheck.rules._astutil import dotted_name
+
+#: Wall-clock reads (dotted suffixes; ``datetime.datetime.now`` matches via
+#: its last two components).
+WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: ``random`` module functions driven by the shared, process-seeded state.
+UNSEEDED_RANDOM = (
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "getrandbits",
+    "randbytes",
+)
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """Unseeded ``random`` / wall-clock use inside solver or kernel code."""
+
+    code = "REP002"
+    name = "unseeded-random-wallclock"
+    description = (
+        "solver/kernel code must be a pure function of the request: no "
+        "module-level random, no unseeded random.Random(), no time.time/"
+        "datetime.now (time.perf_counter for timing metadata is fine)"
+    )
+    scopes = ("core/", "wrapper/", "engine/", "solvers/", "schedule/", "baselines/")
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        random_imports = _names_imported_from(context.tree, "random")
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if any(dotted == clock or dotted.endswith("." + clock) for clock in WALL_CLOCK):
+                yield self.finding(
+                    context,
+                    node,
+                    f"wall-clock read {dotted}() makes results depend on when "
+                    "they ran; timestamp at the reporting layer instead",
+                )
+                continue
+            if dotted.startswith("random.") and dotted.split(".", 1)[1] in UNSEEDED_RANDOM:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{dotted}() draws from the process-seeded global generator; "
+                    "thread an explicit random.Random(seed) through instead",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in random_imports
+                and node.func.id in UNSEEDED_RANDOM
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"{node.func.id}() (imported from random) draws from the "
+                    "process-seeded global generator; use random.Random(seed)",
+                )
+                continue
+            is_rng_constructor = dotted in ("random.Random", "random.SystemRandom") or (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("Random", "SystemRandom")
+                and node.func.id in random_imports
+            )
+            if is_rng_constructor and not node.args and not node.keywords:
+                yield self.finding(
+                    context,
+                    node,
+                    "random.Random() without a seed is seeded from the OS; "
+                    "pass an explicit seed",
+                )
+            elif dotted in ("random.seed",) and not node.args:
+                yield self.finding(
+                    context,
+                    node,
+                    "random.seed() without arguments re-seeds from the OS; "
+                    "pass an explicit seed",
+                )
+
+
+def _names_imported_from(tree: ast.Module, module: str) -> Set[str]:
+    """Local names bound by ``from <module> import ...`` statements."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names

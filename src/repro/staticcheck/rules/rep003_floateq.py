@@ -1,0 +1,73 @@
+"""REP003: float equality in makespan/width arithmetic.
+
+Makespans, TAM widths and testing times are integers in this codebase --
+on purpose, because integer arithmetic is exactly reproducible.  The
+moment a float enters a comparison chain (a ``percent`` scale factor, a
+power total, a division), ``==``/``!=`` becomes platform- and
+evaluation-order-sensitive: ``(1.0 + p / 100.0) * t == target`` can flip
+between x86 FMA and ARM, or between a warm and a cold cache path that
+associates the arithmetic differently.
+
+The rule flags ``==``/``!=`` where either side is float *by construction*:
+a float literal, a true division, a ``float(...)`` call, or arithmetic
+over any of those.  Fixes, in preference order: compare integers (scale to
+cycles/wires first), use an explicit tolerance (``math.isclose`` or an
+epsilon with a documented bound), or compare the *decision* (e.g.
+``a <= b``) rather than the value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, LintRule, ModuleContext, register_rule
+from repro.staticcheck.rules._astutil import call_name
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """True when the expression is a float by construction."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return call_name(node.func) in ("float", "fsum")
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _is_floatish(node.body) or _is_floatish(node.orelse)
+    return False
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """Float ``==``/``!=`` comparisons in makespan/width arithmetic."""
+
+    code = "REP003"
+    name = "float-equality"
+    description = (
+        "float ==/!= on makespan/width arithmetic is platform-sensitive; "
+        "compare integers, use math.isclose, or compare the decision"
+    )
+    scopes = ("core/", "wrapper/")
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    yield self.finding(
+                        context,
+                        node,
+                        "float ==/!= is exact-bit comparison on inexact "
+                        "arithmetic; compare integer cycles/wires or use "
+                        "math.isclose with a documented tolerance",
+                    )
+                    break

@@ -1,0 +1,213 @@
+"""REP004: fork-safety of ``FlatExecutor`` payloads and engine globals.
+
+The flat executor (:mod:`repro.engine.executor`) keeps one persistent
+``fork`` pool alive across dispatches.  Two patterns silently break that
+model:
+
+* **Unpicklable / closure-carrying task payloads.**  Lambdas, bound
+  methods (``self.method``) and functions defined inside other functions
+  submitted to a pool (``imap_unordered``, ``apply_async``, ...) either
+  fail to pickle outright (``spawn``) or -- worse, under ``fork`` --
+  capture a snapshot of enclosing mutable state that diverges from the
+  parent's, so the "same" task computes different things depending on
+  *when* the pool was forked.  Task payloads must be module-level
+  functions taking explicit arguments.
+
+* **Post-fork mutation of module-level mutable globals.**  A module-level
+  ``dict``/``list``/``set`` mutated by parent-side code after the pool
+  forked is invisible to the workers (each holds its own copy), so
+  parent and worker disagree about shared state.  Worker-side caches must
+  be installed by the pool initializer (``_init_worker`` /
+  ``*_initializer`` functions are exempt) or travel inside the tasks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.staticcheck.engine import Finding, LintRule, ModuleContext, register_rule
+from repro.staticcheck.rules._astutil import (
+    call_name,
+    module_level_mutable_globals,
+    nested_function_names,
+    walk_functions,
+)
+
+#: Pool / executor submission methods whose first argument is the payload.
+SUBMISSION_METHODS = (
+    "imap",
+    "imap_unordered",
+    "map",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "submit",
+)
+
+#: Methods that mutate their receiver in place.
+MUTATING_METHODS = (
+    "append",
+    "extend",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "insert",
+    "appendleft",
+)
+
+#: Functions allowed to write module globals: pool initializers run once
+#: per *worker*, which is exactly where worker-side state belongs.
+INITIALIZER_NAMES = ("_init_worker",)
+INITIALIZER_SUFFIXES = ("_initializer",)
+
+
+def _is_initializer(name: str) -> bool:
+    return name in INITIALIZER_NAMES or name.endswith(INITIALIZER_SUFFIXES)
+
+
+@register_rule
+class ForkSafetyRule(LintRule):
+    """Closure payloads to pools; post-fork mutation of module globals."""
+
+    code = "REP004"
+    name = "fork-safety"
+    description = (
+        "executor task payloads must be module-level functions (no lambdas/"
+        "bound methods/closures), and module-level mutable globals may only "
+        "be written by worker initializers"
+    )
+    scopes = ("engine/",)
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        nested = nested_function_names(context.tree)
+        yield from self._check_submissions(context, nested)
+        yield from self._check_global_mutation(context)
+
+    # ------------------------------------------------------------------
+    def _check_submissions(
+        self, context: ModuleContext, nested: Set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node.func) not in SUBMISSION_METHODS:
+                continue
+            # Only method-style submissions (pool.imap_unordered(...)) are
+            # executor dispatches; a bare map(...) builtin is not.
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if not node.args:
+                continue
+            payload = node.args[0]
+            if isinstance(payload, ast.Lambda):
+                yield self.finding(
+                    context,
+                    payload,
+                    "lambda submitted as a pool task payload; under fork it "
+                    "captures parent state at dispatch time -- use a "
+                    "module-level function with explicit arguments",
+                )
+            elif isinstance(payload, ast.Attribute) and isinstance(
+                payload.value, ast.Name
+            ) and payload.value.id == "self":
+                yield self.finding(
+                    context,
+                    payload,
+                    "bound method submitted as a pool task payload pickles "
+                    "its whole instance; use a module-level function",
+                )
+            elif isinstance(payload, ast.Name) and payload.id in nested:
+                yield self.finding(
+                    context,
+                    payload,
+                    f"nested function {payload.id!r} submitted as a pool task "
+                    "payload carries its closure; hoist it to module level",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_global_mutation(self, context: ModuleContext) -> Iterator[Finding]:
+        mutable = module_level_mutable_globals(context.tree)
+        if not mutable:
+            return
+        for function in walk_functions(context.tree):
+            if _is_initializer(function.name):
+                continue
+            local_names = _locally_bound_names(function)
+            for node in ast.walk(function):
+                target_name = _mutated_global(node, mutable, local_names)
+                if target_name is not None:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"module-level mutable global {target_name!r} is "
+                        "mutated outside a worker initializer; forked workers "
+                        "hold stale copies -- install worker state in the "
+                        "pool initializer or pass it inside tasks",
+                    )
+
+
+def _locally_bound_names(function: ast.AST) -> Set[str]:
+    """Parameter and local-assignment names that shadow module globals."""
+    names: Set[str] = set()
+    args = getattr(function, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            names.add(arg.arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None:
+                names.add(arg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+def _mutated_global(
+    node: ast.AST, mutable: Dict[str, int], local_names: Set[str]
+) -> Optional[str]:
+    """The module-global name this node mutates, if any."""
+    # X[...] = value  /  del X[...]
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name in mutable and name not in local_names:
+                    return name
+    elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+        if isinstance(node.target.value, ast.Name):
+            name = node.target.value.id
+            if name in mutable and name not in local_names:
+                return name
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name in mutable and name not in local_names:
+                    return name
+    # X.append(...) etc.
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATING_METHODS and isinstance(
+            node.func.value, ast.Name
+        ):
+            name = node.func.value.id
+            if name in mutable and name not in local_names:
+                return name
+    return None

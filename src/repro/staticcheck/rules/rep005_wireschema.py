@@ -1,0 +1,56 @@
+"""REP005: wire-format freeze for the solver layer's dataclasses.
+
+A project-level rule: once per lint invocation it re-extracts the shapes
+of the wire dataclasses (:data:`~repro.staticcheck.schema.WIRE_CLASSES`)
+from the AST and diffs them against the pinned
+``benchmarks/wire_schema.json`` snapshot.  Every drift -- field added,
+removed, re-typed, re-defaulted or re-ordered -- is one finding, and a
+missing snapshot is itself a finding (a freeze gate that silently skips
+is no gate).
+
+After *reviewing* an intentional wire change, regenerate the snapshot::
+
+    repro lint --write-wire-schema
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.staticcheck import schema
+from repro.staticcheck.engine import (
+    Finding,
+    LintRule,
+    ProjectContext,
+    register_rule,
+)
+
+
+@register_rule
+class WireSchemaRule(LintRule):
+    """Unreviewed drift of the pinned wire-format snapshot."""
+
+    code = "REP005"
+    name = "wire-format-freeze"
+    description = (
+        "ScheduleRequest/ScheduleResult/SolverCapabilities/SchedulerConfig/"
+        "ConstraintSet shapes must match the pinned benchmarks/wire_schema.json; "
+        "regenerate with 'repro lint --write-wire-schema' after review"
+    )
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        drifts = schema.check_wire_drift(context.schema_path, context.source_roots)
+        display = (
+            str(context.schema_path)
+            if context.schema_path is not None
+            else "wire-schema"
+        )
+        for drift in drifts:
+            yield Finding(
+                path=display,
+                line=1,
+                column=0,
+                rule=self.code,
+                severity=self.severity,
+                message=drift,
+            )

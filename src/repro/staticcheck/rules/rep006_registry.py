@@ -1,0 +1,73 @@
+"""REP006: registry hygiene for ``@register_solver`` classes.
+
+The solver registry is the system's extension surface: ``repro solvers``
+renders each entry's capabilities and docstring, the engine routes
+requests by capability flags, and a solver registered without either is
+invisible to both.  The rule pins that contract syntactically: every
+class decorated with ``register_solver(...)`` must pass an explicit
+``capabilities=`` keyword (or provide capabilities positionally) and
+carry a non-empty class docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.staticcheck.engine import Finding, LintRule, ModuleContext, register_rule
+from repro.staticcheck.rules._astutil import call_name
+
+
+def _register_solver_call(node: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``register_solver(...)`` decorator on a class, if present."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if call_name(target) == "register_solver":
+            return decorator
+    return None
+
+
+@register_rule
+class RegistryHygieneRule(LintRule):
+    """``@register_solver`` without declared capabilities or a docstring."""
+
+    code = "REP006"
+    name = "registry-hygiene"
+    description = (
+        "every @register_solver class must declare capabilities= and carry "
+        "a docstring; the registry listing and request routing depend on both"
+    )
+
+    def check_module(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _register_solver_call(node)
+            if decorator is None:
+                continue
+            if not _declares_capabilities(decorator):
+                yield self.finding(
+                    context,
+                    node,
+                    f"solver class {node.name!r} registers without "
+                    "capabilities=; the registry cannot route requests to it",
+                )
+            docstring = ast.get_docstring(node)
+            if not docstring or not docstring.strip():
+                yield self.finding(
+                    context,
+                    node,
+                    f"solver class {node.name!r} registers without a "
+                    "docstring; 'repro solvers' would list an empty entry",
+                )
+
+
+def _declares_capabilities(decorator: ast.expr) -> bool:
+    """True when the decorator call passes capabilities (kw or positional)."""
+    if not isinstance(decorator, ast.Call):
+        # Bare @register_solver cannot carry capabilities.
+        return False
+    if any(keyword.arg == "capabilities" for keyword in decorator.keywords):
+        return True
+    # register_solver(name, capabilities, ...) positional form.
+    return len(decorator.args) >= 2

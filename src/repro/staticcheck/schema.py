@@ -1,0 +1,236 @@
+"""Wire-format freeze: extract dataclass shapes from the AST and diff them.
+
+The JSON wire format of the solver layer (PR 2) is carried by a handful of
+frozen dataclasses -- :class:`~repro.solvers.request.ScheduleRequest`,
+:class:`~repro.solvers.request.ScheduleResult`,
+:class:`~repro.solvers.base.SolverCapabilities`,
+:class:`~repro.core.scheduler.SchedulerConfig` and
+:class:`~repro.soc.constraints.ConstraintSet`.  Any field added, removed,
+renamed, re-typed or re-defaulted silently changes what goes over the wire
+(and what ``to_dict``/``from_dict`` round-trip), so their *shape* is pinned
+in ``benchmarks/wire_schema.json`` and REP005 fails the lint when the AST
+drifts from the snapshot.
+
+The extraction is purely syntactic (``ast``): a class's shape is the
+ordered list of its annotated assignments ``name: annotation [= default]``,
+with annotation and default rendered by :func:`ast.unparse`.  No import of
+the target module happens, so the check cannot be fooled by runtime
+monkey-patching and runs on any tree that parses.
+
+Regenerate the snapshot -- after review! -- with::
+
+    repro lint --write-wire-schema
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+
+#: The frozen wire classes, as ``dotted.module:ClassName`` keys resolved
+#: against the lint invocation's source roots.
+WIRE_CLASSES: Tuple[str, ...] = (
+    "repro.solvers.request:ScheduleRequest",
+    "repro.solvers.request:ScheduleResult",
+    "repro.solvers.base:SolverCapabilities",
+    "repro.core.scheduler:SchedulerConfig",
+    "repro.soc.constraints:ConstraintSet",
+)
+
+#: Default snapshot location, relative to a repository root.
+DEFAULT_SCHEMA_RELPATH = Path("benchmarks") / "wire_schema.json"
+
+
+class WireSchemaError(ValueError):
+    """Raised when a wire class or its module cannot be found/parsed."""
+
+
+def resolve_class_key(key: str, source_roots: Sequence[Path]) -> Tuple[Path, str]:
+    """Resolve ``dotted.module:ClassName`` to a source file and class name."""
+    module, _, class_name = key.partition(":")
+    if not module or not class_name:
+        raise WireSchemaError(
+            f"wire class key must look like 'pkg.module:Class', got {key!r}"
+        )
+    relative = Path(*module.split(".")).with_suffix(".py")
+    for root in source_roots:
+        candidate = Path(root) / relative
+        if candidate.exists():
+            return candidate, class_name
+    raise WireSchemaError(
+        f"cannot resolve module {module!r} under source roots "
+        f"{[str(r) for r in source_roots]}"
+    )
+
+
+def extract_class_fields(path: Path, class_name: str) -> List[Dict[str, Any]]:
+    """The ordered ``name``/``annotation``/``default`` shape of one class.
+
+    Only annotated assignments in the class body count (the dataclass
+    field protocol); ``ClassVar`` annotations are excluded, as dataclasses
+    exclude them from the generated ``__init__``/``asdict``.
+    """
+    try:
+        tree = ast.parse(Path(path).read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as error:
+        raise WireSchemaError(f"cannot parse {path}: {error}") from error
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: List[Dict[str, Any]] = []
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if not isinstance(statement.target, ast.Name):
+                    continue
+                annotation = ast.unparse(statement.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                fields.append(
+                    {
+                        "name": statement.target.id,
+                        "annotation": annotation,
+                        "default": (
+                            ast.unparse(statement.value)
+                            if statement.value is not None
+                            else None
+                        ),
+                    }
+                )
+            return fields
+    raise WireSchemaError(f"class {class_name!r} not found in {path}")
+
+
+def generate_schema(
+    source_roots: Sequence[Path],
+    class_keys: Sequence[str] = WIRE_CLASSES,
+) -> Dict[str, Any]:
+    """The current tree's wire schema (the content of the pinned snapshot)."""
+    classes: Dict[str, Any] = {}
+    for key in class_keys:
+        path, class_name = resolve_class_key(key, source_roots)
+        classes[key] = {"fields": extract_class_fields(path, class_name)}
+    return {"version": SCHEMA_VERSION, "classes": classes}
+
+
+def write_schema(
+    schema_path: Path,
+    source_roots: Sequence[Path],
+    class_keys: Sequence[str] = WIRE_CLASSES,
+) -> Dict[str, Any]:
+    """Regenerate the pinned snapshot from the current tree."""
+    schema = generate_schema(source_roots, class_keys)
+    with open(schema_path, "w", encoding="utf-8") as handle:
+        json.dump(schema, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return schema
+
+
+def load_schema(schema_path: Path) -> Dict[str, Any]:
+    """Load the pinned snapshot (missing/corrupt files raise)."""
+    with open(schema_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def diff_class(
+    key: str,
+    pinned_fields: Sequence[Dict[str, Any]],
+    current_fields: Sequence[Dict[str, Any]],
+) -> List[str]:
+    """Human-readable drift descriptions for one class (empty = frozen)."""
+    drifts: List[str] = []
+    pinned_by_name = {f["name"]: f for f in pinned_fields}
+    current_by_name = {f["name"]: f for f in current_fields}
+    for name in pinned_by_name:
+        if name not in current_by_name:
+            drifts.append(f"{key}: field {name!r} was removed")
+    for name, current in current_by_name.items():
+        pinned = pinned_by_name.get(name)
+        if pinned is None:
+            drifts.append(f"{key}: field {name!r} was added")
+            continue
+        for aspect in ("annotation", "default"):
+            if pinned.get(aspect) != current.get(aspect):
+                drifts.append(
+                    f"{key}: field {name!r} changed {aspect} "
+                    f"{pinned.get(aspect)!r} -> {current.get(aspect)!r}"
+                )
+    pinned_order = [f["name"] for f in pinned_fields if f["name"] in current_by_name]
+    current_order = [f["name"] for f in current_fields if f["name"] in pinned_by_name]
+    if pinned_order != current_order:
+        drifts.append(
+            f"{key}: field order changed {pinned_order!r} -> {current_order!r} "
+            "(positional construction and serialisation order depend on it)"
+        )
+    return drifts
+
+
+def check_wire_drift(
+    schema_path: Optional[Path],
+    source_roots: Sequence[Path],
+) -> List[str]:
+    """All wire-format drifts of the tree under ``source_roots``.
+
+    Returns human-readable drift strings; a missing snapshot is itself a
+    drift (a freeze gate that silently skips is no gate).  Unresolvable
+    modules/classes are reported rather than raised, so the lint engine
+    can surface them as findings.
+    """
+    if schema_path is None or not Path(schema_path).exists():
+        return [
+            "wire schema snapshot "
+            + (str(schema_path) if schema_path is not None else "(none)")
+            + " is missing; regenerate with 'repro lint --write-wire-schema' "
+            "after reviewing the wire format"
+        ]
+    schema = load_schema(schema_path)
+    drifts: List[str] = []
+    for key, pinned in sorted(schema.get("classes", {}).items()):
+        try:
+            path, class_name = resolve_class_key(key, source_roots)
+            current = extract_class_fields(path, class_name)
+        except WireSchemaError as error:
+            drifts.append(str(error))
+            continue
+        drifts.extend(diff_class(key, pinned.get("fields", ()), current))
+    return drifts
+
+
+def repo_root_for(package_file: Path) -> Optional[Path]:
+    """The repository root above an installed ``repro`` package, if any.
+
+    Walks up from the package looking for the conventional checkout layout:
+    either the pinned ``benchmarks/wire_schema.json`` itself or a
+    ``pyproject.toml`` next to a ``benchmarks/`` directory (so a checkout
+    whose snapshot has not been generated yet is still recognised -- and
+    reported as drifted -- rather than silently skipped).  Returns ``None``
+    for site-packages installs; the freeze gate only applies to checkouts.
+    """
+    for parent in Path(package_file).resolve().parents:
+        if (parent / DEFAULT_SCHEMA_RELPATH).exists():
+            return parent
+        if (parent / "pyproject.toml").exists() and (parent / "benchmarks").is_dir():
+            return parent
+    return None
+
+
+def default_wire_drifts() -> List[str]:
+    """Wire drifts of the surrounding checkout, or ``[]`` outside one.
+
+    The convenience entry point for the perf harness: ``repro bench``
+    refuses to write ``BENCH_*.json`` artifacts while the wire format has
+    unreviewed drift, and this function encapsulates the "am I in a
+    checkout with a pinned schema?" discovery.
+    """
+    import repro
+
+    root = repo_root_for(Path(repro.__file__))
+    if root is None:
+        return []
+    return check_wire_drift(
+        root / DEFAULT_SCHEMA_RELPATH,
+        source_roots=(root / "src", root),
+    )

@@ -95,7 +95,13 @@ def format_wrapper_plan(plan: CoreWrapperPlan) -> str:
         f"so={plan.scan_out_length}, T={plan.testing_time} cycles",
     ]
     for chain in plan.chains:
-        if not (chain.internal_chains or chain.input_cells or chain.output_cells or chain.bidir_cells):
+        populated = (
+            chain.internal_chains
+            or chain.input_cells
+            or chain.output_cells
+            or chain.bidir_cells
+        )
+        if not populated:
             lines.append(f"  chain {chain.index}: (unused)")
             continue
         internal = (

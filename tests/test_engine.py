@@ -8,7 +8,7 @@ import sys
 import pytest
 
 from repro.core.data_volume import sweep_tam_widths
-from repro.core.scheduler import SchedulerConfig, best_schedule
+from repro.core.scheduler import best_schedule
 from repro.engine import (
     EngineContext,
     EngineError,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.soc.benchmarks import d695
-from repro.soc.constraints import ConstraintSet
 from repro.soc.core import Core
 from repro.soc.itc02 import (
     SocFormatError,
@@ -55,7 +54,10 @@ class TestParsing:
         assert not constraints.allows_concurrent("alpha", "delta")
 
     def test_comments_and_blank_lines_ignored(self):
-        text = "# comment\n\nSocName x\n  # indented comment\nCore a inputs=1 outputs=1 patterns=1\n"
+        text = (
+            "# comment\n\nSocName x\n  # indented comment\n"
+            "Core a inputs=1 outputs=1 patterns=1\n"
+        )
         soc = parse_soc(text)
         assert soc.name == "x"
         assert len(soc) == 1

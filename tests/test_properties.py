@@ -9,13 +9,12 @@ from __future__ import annotations
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.lower_bounds import lower_bound
 from repro.core.rectangles import RectangleSet, build_rectangle_sets
-from repro.core.scheduler import SchedulerConfig, schedule_soc
+from repro.core.scheduler import schedule_soc
 from repro.soc.constraints import ConstraintSet
 from repro.soc.core import Core
 from repro.soc.itc02 import format_soc, parse_soc_with_constraints

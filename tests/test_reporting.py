@@ -1,6 +1,5 @@
 """Tests for the plain-text reporting helpers (repro.analysis.reporting)."""
 
-import pytest
 
 from repro.analysis.experiments import Table1Row, Table2Row
 from repro.analysis.reporting import (

@@ -15,7 +15,7 @@ from repro.baselines.exact import exhaustive_schedule
 from repro.baselines.fixed_width import fixed_width_schedule
 from repro.baselines.shelf import shelf_schedule
 from repro.core.lower_bounds import lower_bound
-from repro.core.scheduler import SchedulerConfig, best_schedule, schedule_soc
+from repro.core.scheduler import best_schedule, schedule_soc
 from repro.engine.jobs import EngineContext, ScheduleJob
 from repro.engine.runner import run_jobs
 from repro.schedule.schedule import ScheduleError, ScheduleSegment, TestSchedule

@@ -45,8 +45,9 @@ class TestCoreWrapperPlan:
     def test_chain_lengths_consistent(self, core):
         plan = core_wrapper_plan(core, 5)
         for chain in plan.chains:
-            assert chain.scan_in_length == sum(chain.internal_chains) + chain.input_cells + chain.bidir_cells
-            assert chain.scan_out_length == sum(chain.internal_chains) + chain.output_cells + chain.bidir_cells
+            internal = sum(chain.internal_chains)
+            assert chain.scan_in_length == internal + chain.input_cells + chain.bidir_cells
+            assert chain.scan_out_length == internal + chain.output_cells + chain.bidir_cells
 
 
 class TestSchedulePlans:
