@@ -424,15 +424,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if args.json is not None:
-        payload = staticcheck.findings_to_json(report.findings)
-        if args.json == "":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
+    if args.call_graph is not None or args.effects is not None:
+        from repro.staticcheck.analysis import analyze_paths
+
+        analysis = analyze_paths(
+            staticcheck.discover_files(paths), source_roots, display_root=root
+        )
+        exports = []
+        if args.call_graph is not None:
+            exports.append((args.call_graph, analysis.call_graph_json()))
+        if args.effects is not None:
+            exports.append((args.effects, analysis.effects_json()))
+        for target, payload in exports:
+            with open(target, "w", encoding="utf-8") as handle:
                 handle.write(payload)
                 handle.write("\n")
+            print(f"wrote {target}")
+
+    if args.json is not None:
+        payload_text = staticcheck.findings_to_json(report.findings)
+        if args.json == "":
+            print(payload_text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload_text)
+                handle.write("\n")
             print(f"wrote {args.json}")
+    elif args.output_format == "github":
+        for finding in report.findings:
+            print(finding.render_github())
     else:
         for finding in report.findings:
             print(finding.render())
@@ -635,6 +655,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="regenerate the pinned wire-format snapshot from the current "
         "tree (after reviewing the wire change) and exit",
+    )
+    p_lint.add_argument(
+        "--output-format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format: human-readable text (default) or "
+        "GitHub Actions '::error file=...' annotations",
+    )
+    p_lint.add_argument(
+        "--call-graph",
+        metavar="FILE",
+        default=None,
+        help="export the interprocedural call graph (edges, entry points) "
+        "as JSON to FILE",
+    )
+    p_lint.add_argument(
+        "--effects",
+        metavar="FILE",
+        default=None,
+        help="export the per-function side-effect summaries (local and "
+        "call-graph-propagated) as JSON to FILE",
     )
     p_lint.add_argument(
         "--list-rules",

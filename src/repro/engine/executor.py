@@ -210,7 +210,7 @@ _WORKER_SOCS: Optional[Dict[str, Soc]] = None
 # tight even when tasks were dispatched (chunked) long before they run.
 # Writes are monotone decreasing towards the final winner, so a torn or
 # stale read can only yield a *looser* limit -- never an unsound one.
-_WORKER_BOARD: Optional[Any] = None
+_WORKER_BOARD: Optional[Any] = None  # repro: fork-local
 
 
 def _init_worker(
@@ -637,7 +637,10 @@ class FlatExecutor:
         soc, constraints = context.resolve(job)
         try:
             is_best = normalize_solver_name(job.solver) == "best"
-        except Exception:
+        except (AttributeError, TypeError):
+            # job.solver is a validated non-empty str (ScheduleJob raises at
+            # construction), so this only guards exotic str subclasses; any
+            # such job schedules whole, never silently best-decomposed.
             is_best = False
         if not is_best:
             return _JobPlan(job, constraints)

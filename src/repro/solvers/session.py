@@ -196,7 +196,10 @@ class Session:
 # ----------------------------------------------------------------------
 # Process-wide default session
 # ----------------------------------------------------------------------
-_DEFAULT_SESSION: Optional[Session] = None
+# Fork-local by design: each pool worker lazily builds its own default
+# session, whose rectangle-set memos are pure derived values (the warm
+# shared state ships via the priming protocol instead).
+_DEFAULT_SESSION: Optional[Session] = None  # repro: fork-local
 
 
 def get_default_session() -> Session:

@@ -20,8 +20,21 @@ Rules are plugins (the solver-registry idiom): subclass
 :class:`~repro.staticcheck.engine.LintRule`, decorate with
 :func:`~repro.staticcheck.engine.register_rule`, and the engine picks the
 rule up by its ``REPnnn`` code.
+
+Project rules (``check_project``) additionally see the interprocedural
+layer through :meth:`~repro.staticcheck.engine.ProjectContext.analysis`:
+a cross-module symbol table, the project call graph (registry dispatch
+and executor entry points resolved) and per-function side-effect
+summaries -- see :mod:`repro.staticcheck.analysis`.
 """
 
+from repro.staticcheck.analysis import (
+    CallGraph,
+    Effects,
+    ProjectAnalysis,
+    SymbolTable,
+    analyze_paths,
+)
 from repro.staticcheck.engine import (
     ENGINE_RULE,
     LintError,
@@ -54,6 +67,11 @@ from repro.staticcheck.schema import (
 )
 
 __all__ = [
+    "CallGraph",
+    "Effects",
+    "ProjectAnalysis",
+    "SymbolTable",
+    "analyze_paths",
     "ENGINE_RULE",
     "LintError",
     "LintReport",

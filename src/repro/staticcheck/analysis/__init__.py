@@ -1,0 +1,158 @@
+"""Interprocedural analysis layer for ``repro lint`` project rules.
+
+Three passes, each building on the last:
+
+1. :mod:`~repro.staticcheck.analysis.symbols` -- a cross-module symbol
+   table (imports, re-exports, class attributes, decorator unwrapping);
+2. :mod:`~repro.staticcheck.analysis.callgraph` -- the project call
+   graph, resolving the repo's two indirection idioms (registry dispatch
+   via ``@register_solver``/``@register_rule`` and ``FlatExecutor`` /
+   pool-submission task entry points) and exposing worker reachability
+   with witness chains;
+3. :mod:`~repro.staticcheck.analysis.effects` -- purity / side-effect
+   inference (module-global writes, instance/closure mutation, I/O)
+   propagated over call-graph SCCs to a fixpoint.
+
+:class:`ProjectAnalysis` bundles the three for the REP007--REP010 rules;
+``repro lint --call-graph FILE`` / ``--effects FILE`` export the
+artifacts as JSON via the ``*_to_json`` helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.staticcheck.analysis.callgraph import (
+    INITIALIZER_NAMES,
+    INITIALIZER_SUFFIXES,
+    SUBMISSION_METHODS,
+    CallGraph,
+    CallSite,
+    call_graph_from_json,
+    call_graph_to_json,
+)
+from repro.staticcheck.analysis.effects import (
+    Effects,
+    GlobalWrite,
+    effects_from_json,
+    effects_to_dict,
+    effects_to_json,
+    local_effects,
+    propagate_effects,
+)
+from repro.staticcheck.analysis.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSymbols,
+    SymbolTable,
+    module_name_for,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassSymbol",
+    "Effects",
+    "FunctionSymbol",
+    "GlobalWrite",
+    "INITIALIZER_NAMES",
+    "INITIALIZER_SUFFIXES",
+    "ModuleSymbols",
+    "ProjectAnalysis",
+    "SUBMISSION_METHODS",
+    "SymbolTable",
+    "analyze_modules",
+    "analyze_paths",
+    "call_graph_from_json",
+    "call_graph_to_json",
+    "effects_from_json",
+    "effects_to_dict",
+    "effects_to_json",
+    "local_effects",
+    "module_name_for",
+    "propagate_effects",
+]
+
+
+@dataclass(frozen=True)
+class ProjectAnalysis:
+    """Symbol table + call graph + effect summaries for one linted tree."""
+
+    table: SymbolTable = field(compare=False)
+    call_graph: CallGraph = field(compare=False)
+    local_effects: Dict[str, Effects] = field(compare=False)
+    effects: Dict[str, Effects] = field(compare=False)  # propagated (closed)
+
+    @classmethod
+    def build(
+        cls,
+        modules: Iterable[Tuple[str, str, str, ast.Module]],
+        # each entry: (module name, display path, source, parsed tree)
+    ) -> "ProjectAnalysis":
+        """Run all three passes over the given parsed modules."""
+        table = SymbolTable.build(modules)
+        graph = CallGraph.build(table)
+        local = {
+            ident: local_effects(table.functions[ident], table)
+            for ident in sorted(table.functions)
+        }
+        propagated = propagate_effects(graph, local)
+        return cls(
+            table=table,
+            call_graph=graph,
+            local_effects=local,
+            effects=propagated,
+        )
+
+    def worker_reachable(self) -> Dict[str, Tuple[str, ...]]:
+        """Idents reachable from worker entry points, with witness chains."""
+        return self.call_graph.reachable()
+
+    def call_graph_json(self) -> str:
+        """The ``--call-graph`` artifact payload."""
+        return call_graph_to_json(self.call_graph)
+
+    def effects_json(self) -> str:
+        """The ``--effects`` artifact payload."""
+        return effects_to_json(self.local_effects, self.effects)
+
+
+def analyze_modules(
+    entries: Sequence[Tuple[Path, str, str, ast.Module]],
+    source_roots: Sequence[Path],
+    # each entry: (filesystem path, display path, source, parsed tree)
+) -> ProjectAnalysis:
+    """Build a :class:`ProjectAnalysis` from loaded module contexts.
+
+    Module names are derived from the filesystem path relative to the
+    closest source root (fixture files outside every root are named by
+    their stem), matching :func:`module_name_for`.
+    """
+    named = [
+        (module_name_for(path, source_roots), display, source, tree)
+        for path, display, source, tree in entries
+    ]
+    return ProjectAnalysis.build(named)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    source_roots: Sequence[Path],
+    display_root: Optional[Path] = None,
+) -> ProjectAnalysis:
+    """Parse files from disk and analyse them (CLI export convenience)."""
+    entries = []
+    for path in sorted(set(Path(p) for p in paths)):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        display = str(path)
+        if display_root is not None:
+            try:
+                display = path.resolve().relative_to(display_root.resolve()).as_posix()
+            except ValueError:
+                display = str(path)
+        entries.append((path, display, source, tree))
+    return analyze_modules(entries, source_roots)

@@ -1,0 +1,405 @@
+"""Project-wide call graph over the cross-module symbol table.
+
+Edges are discovered syntactically and resolved through
+:class:`~repro.staticcheck.analysis.symbols.SymbolTable`:
+
+* **direct calls** -- ``f(...)``, ``mod.f(...)``, ``pkg.sub.f(...)`` via
+  import aliases and re-export chains;
+* **method calls** -- ``self.m(...)`` through the enclosing class and its
+  project bases, and ``obj.m(...)`` when the receiver's class is known
+  from a parameter annotation (``session: Session``), a local constructor
+  assignment (``s = Session()``), a call to a factory whose return
+  annotation names a project class (``get_default_session().solve(...)``),
+  or a nested-function closure;
+* **function references** -- a project function passed *as an argument*
+  (``pool.imap_unordered(_execute_task, ...)``, ``initializer=_init_worker``,
+  ``atexit.register(close_default_executor)``) becomes an edge of kind
+  ``ref``: whoever receives the object may call it, which is exactly the
+  conservative over-approximation worker-reachability needs;
+* **registry dispatch** -- the repo's two indirection idioms are resolved
+  to *synthetic* edges of kind ``dispatch``: a call to ``Session.solve``
+  fans out to every ``@register_solver``-decorated class's ``solve``
+  method, and a ``check_module``/``check_project`` call fans out to every
+  ``@register_rule``-decorated class's same-named method.
+
+The graph also identifies the **worker entry points** of the flat-executor
+idiom: payload functions submitted to pool methods (``imap_unordered``,
+``apply_async``, ...), pool ``initializer=`` arguments, and functions
+following the initializer naming conventions.  :meth:`CallGraph.reachable`
+walks the graph from those entries and returns, per reachable function,
+the *witness call chain* (entry -> ... -> function) that findings attach
+so reviewers can verify them without re-running the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.analysis.symbols import (
+    FunctionNode,
+    FunctionSymbol,
+    SymbolTable,
+    annotation_class_name,
+    dotted_expr,
+)
+
+#: Pool / executor submission methods whose first argument is the payload
+#: (the REP004 vocabulary, shared so both layers agree on what dispatches).
+SUBMISSION_METHODS = (
+    "imap",
+    "imap_unordered",
+    "map",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "submit",
+)
+
+#: Functions that are worker entry points by naming convention.
+INITIALIZER_NAMES = ("_init_worker",)
+INITIALIZER_SUFFIXES = ("_initializer",)
+
+#: Registry dispatch: resolved decorator name -> dispatched method names.
+REGISTRY_DISPATCH: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("register_solver", ("solve",)),
+    ("register_rule", ("check_module", "check_project")),
+)
+
+
+def is_initializer_name(name: str) -> bool:
+    return name in INITIALIZER_NAMES or name.endswith(INITIALIZER_SUFFIXES)
+
+
+@dataclass(frozen=True, order=True)
+class CallSite:
+    """One resolved edge of the call graph."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    kind: str  # "call" | "ref" | "dispatch"
+
+
+class CallGraph:
+    """The resolved project call graph (build with :meth:`build`)."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, Tuple[CallSite, ...]] = {}
+        self.entry_points: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        """Resolve every function's calls/references into graph edges."""
+        graph = cls(table)
+        dispatch_targets = graph._dispatch_targets()
+        entries: Set[str] = set()
+        for ident in sorted(table.functions):
+            symbol = table.functions[ident]
+            sites = graph._edges_of(symbol, dispatch_targets, entries)
+            if sites:
+                graph.edges[ident] = tuple(sorted(set(sites)))
+            if is_initializer_name(symbol.name):
+                entries.add(ident)
+        graph.entry_points = tuple(sorted(entries))
+        return graph
+
+    def _dispatch_targets(self) -> Dict[str, Tuple[str, ...]]:
+        """Dispatched method name -> idents of every registered implementation."""
+        targets: Dict[str, List[str]] = {}
+        for decorator, methods in REGISTRY_DISPATCH:
+            for class_ident in self.table.classes_decorated_by((decorator,)):
+                for method in methods:
+                    method_ident = self.table.method_of(class_ident, method)
+                    if method_ident is not None:
+                        targets.setdefault(method, []).append(method_ident)
+        return {name: tuple(sorted(idents)) for name, idents in targets.items()}
+
+    # -- per-function edge extraction ----------------------------------
+    def _edges_of(
+        self,
+        symbol: FunctionSymbol,
+        dispatch_targets: Dict[str, Tuple[str, ...]],
+        entries: Set[str],
+    ) -> List[CallSite]:
+        table = self.table
+        module = symbol.module
+        nested = self._nested_of(symbol)
+        receiver_types = self._receiver_types(symbol)
+        sites: List[CallSite] = []
+
+        def add(callee: Optional[str], node: ast.AST, kind: str) -> None:
+            if callee is None:
+                return
+            sites.append(
+                CallSite(
+                    caller=symbol.ident,
+                    callee=callee,
+                    path=symbol.path,
+                    line=int(getattr(node, "lineno", symbol.lineno)),
+                    kind=kind,
+                )
+            )
+
+        def resolve_callable(expr: ast.expr) -> Optional[str]:
+            """A function/method ident for a callable expression, if known."""
+            if isinstance(expr, ast.Name):
+                if expr.id in nested:
+                    return nested[expr.id]
+                resolved = table.resolve(module, expr.id)
+                return self._as_function(resolved)
+            if isinstance(expr, ast.Attribute):
+                return self._resolve_attribute_call(
+                    symbol, expr, receiver_types, nested
+                )
+            return None
+
+        for node in self._walk_own_scope(symbol.node):
+            if not isinstance(node, ast.Call):
+                continue
+            # The call target itself.
+            callee = resolve_callable(node.func)
+            add(callee, node, "call")
+            # Registry dispatch fan-out on the two indirection idioms.
+            method_name = (
+                node.func.attr if isinstance(node.func, ast.Attribute) else ""
+            )
+            for target in dispatch_targets.get(method_name, ()):
+                if target != callee:
+                    add(target, node, "dispatch")
+            # Function references passed as arguments (payloads, callbacks).
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                referenced = resolve_callable(arg)
+                if referenced is not None:
+                    add(referenced, arg, "ref")
+            # Worker entry points: pool payloads and initializers.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SUBMISSION_METHODS
+                and node.args
+            ):
+                payload = resolve_callable(node.args[0])
+                if payload is not None:
+                    entries.add(payload)
+            if isinstance(node.func, (ast.Attribute, ast.Name)):
+                tail = dotted_expr(node.func).rsplit(".", 1)[-1]
+                if tail in ("Pool", "ProcessPoolExecutor"):
+                    for keyword in node.keywords:
+                        if keyword.arg == "initializer":
+                            initializer = resolve_callable(keyword.value)
+                            if initializer is not None:
+                                entries.add(initializer)
+        return sites
+
+    def _as_function(self, ident: Optional[str]) -> Optional[str]:
+        """Map a resolved ident to a function; classes become __init__."""
+        if ident is None:
+            return None
+        if ident in self.table.functions:
+            return ident
+        if ident in self.table.classes:
+            return self.table.method_of(ident, "__init__")
+        return None
+
+    def _nested_of(self, symbol: FunctionSymbol) -> Dict[str, str]:
+        """Direct nested-function names of ``symbol`` -> their idents."""
+        prefix = f"{symbol.ident}.<locals>."
+        nested: Dict[str, str] = {}
+        for ident in self.table.functions:
+            if ident.startswith(prefix) and "." not in ident[len(prefix) :]:
+                nested[ident[len(prefix) :]] = ident
+        return nested
+
+    def _receiver_types(self, symbol: FunctionSymbol) -> Dict[str, str]:
+        """Local names with a known project class (shallow, syntactic).
+
+        Sources: parameter annotations, local assignments from a project
+        class constructor, and local assignments from a call to a project
+        function whose return annotation names a project class.
+        """
+        table = self.table
+        module = symbol.module
+        types: Dict[str, str] = {}
+        args = symbol.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            class_name = annotation_class_name(arg.annotation)
+            if class_name:
+                resolved = table.resolve(module, class_name)
+                if resolved is not None and resolved in table.classes:
+                    types[arg.arg] = resolved
+        if symbol.is_method:
+            class_ident = f"{module}.{symbol.class_name}"
+            types.setdefault("self", class_ident)
+            types.setdefault("cls", class_ident)
+        for node in self._walk_own_scope(symbol.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            inferred = self._class_of_value(module, node.value)
+            if inferred is not None:
+                types[target.id] = inferred
+            else:
+                types.pop(target.id, None)  # reassignment loses the type
+        return types
+
+    def _class_of_value(self, module: str, value: ast.expr) -> Optional[str]:
+        """The project class an expression evaluates to, if inferable."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = dotted_expr(value.func)
+        if not dotted:
+            return None
+        resolved = self.table.resolve(module, dotted)
+        if resolved is None:
+            return None
+        if resolved in self.table.classes:
+            return resolved
+        function = self.table.functions.get(resolved)
+        if function is not None and function.returns_class:
+            returned = self.table.resolve(function.module, function.returns_class)
+            if returned is not None and returned in self.table.classes:
+                return returned
+        return None
+
+    def _resolve_attribute_call(
+        self,
+        symbol: FunctionSymbol,
+        func: ast.Attribute,
+        receiver_types: Dict[str, str],
+        nested: Dict[str, str],
+    ) -> Optional[str]:
+        table = self.table
+        module = symbol.module
+        method = func.attr
+        receiver = func.value
+        # Typed receiver: a name with a known class, or a factory call
+        # whose return annotation names a class (Session chains).
+        class_ident: Optional[str] = None
+        if isinstance(receiver, ast.Name):
+            class_ident = receiver_types.get(receiver.id)
+        elif isinstance(receiver, ast.Call):
+            class_ident = self._class_of_value(module, receiver)
+        if class_ident is not None:
+            return table.method_of(class_ident, method)
+        # Module attribute: mod.f(...) / pkg.sub.f(...).
+        dotted = dotted_expr(func)
+        if dotted:
+            return self._as_function(table.resolve(module, dotted))
+        return None
+
+    @staticmethod
+    def _walk_own_scope(node: FunctionNode) -> List[ast.AST]:
+        """Nodes of one function body, nested function interiors excluded."""
+        found: List[ast.AST] = []
+        stack: List[ast.AST] = list(node.body)
+        while stack:
+            current = stack.pop()
+            found.append(current)
+            for child in ast.iter_child_nodes(current):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+        return found
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, ident: str) -> Tuple[CallSite, ...]:
+        """The outgoing edges of one function."""
+        return self.edges.get(ident, ())
+
+    def reachable(
+        self, entries: Optional[Sequence[str]] = None
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Functions reachable from ``entries`` with their witness chains.
+
+        Returns ``{ident: (entry, ..., ident)}`` where the chain is the
+        BFS-shortest call path from an entry point (ties broken by sorted
+        order, so chains are deterministic).  Defaults to the discovered
+        worker entry points.
+        """
+        start = tuple(sorted(entries)) if entries is not None else self.entry_points
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for entry in start:
+            if entry not in parents:
+                parents[entry] = None
+                queue.append(entry)
+        while queue:
+            current = queue.pop(0)
+            for site in self.callees(current):
+                if site.callee not in parents:
+                    parents[site.callee] = current
+                    queue.append(site.callee)
+        chains: Dict[str, Tuple[str, ...]] = {}
+        for ident in parents:
+            chain: List[str] = []
+            cursor: Optional[str] = ident
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = parents[cursor]
+            chains[ident] = tuple(reversed(chain))
+        return chains
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (round-trips through :func:`call_graph_from_json`)."""
+        return {
+            "version": 1,
+            "functions": {
+                ident: {
+                    "module": info.module,
+                    "path": info.path,
+                    "line": info.lineno,
+                    "decorators": list(info.decorators),
+                }
+                for ident, info in sorted(self.table.functions.items())
+            },
+            "edges": [
+                {
+                    "caller": site.caller,
+                    "callee": site.callee,
+                    "path": site.path,
+                    "line": site.line,
+                    "kind": site.kind,
+                }
+                for ident in sorted(self.edges)
+                for site in self.edges[ident]
+            ],
+            "entry_points": list(self.entry_points),
+        }
+
+
+def call_graph_to_json(graph: CallGraph, indent: int = 2) -> str:
+    """Serialise a call graph to the ``repro lint --call-graph`` payload."""
+    return json.dumps(graph.to_dict(), indent=indent, sort_keys=True)
+
+
+def call_graph_from_json(text: str) -> Dict[str, object]:
+    """Decode a :func:`call_graph_to_json` payload (validating its version).
+
+    Returns the payload in exactly the :meth:`CallGraph.to_dict` shape, so
+    ``call_graph_from_json(call_graph_to_json(g)) == g.to_dict()``.
+    """
+    payload = json.loads(text)
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported call-graph payload version: {payload.get('version')!r}")
+    return {
+        "version": 1,
+        "functions": payload.get("functions", {}),
+        "edges": payload.get("edges", []),
+        "entry_points": list(payload.get("entry_points", [])),
+    }

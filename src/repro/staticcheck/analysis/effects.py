@@ -1,0 +1,448 @@
+"""Purity / side-effect inference over the project call graph.
+
+For every function the analysis first infers its **local** effects
+syntactically:
+
+* ``global_writes`` -- assignments (or ``global``-declared rebinding) to
+  module-level names, and mutating calls/subscript-stores on names the
+  symbol table knows to be module-level mutable containers
+  (``_CACHE[k] = v``, ``_SEEN.add(x)``, ``_LOG.append(...)``);
+* ``instance_writes`` -- stores through ``self`` (``self.x = ...``,
+  ``self.items.append(...)``);
+* ``closure_writes`` -- ``nonlocal``-declared rebinding inside nested
+  functions;
+* ``io`` -- calls into the obvious I/O vocabulary (``open``, ``print``,
+  ``os.*``/``subprocess.*``/``socket.*`` tails, ``.write``/``.read`` on
+  file-ish receivers is deliberately out of scope for this shallow pass);
+* ``memoized`` -- the function is wrapped in ``functools.lru_cache`` /
+  ``functools.cache``.
+
+Local effects are then **propagated over the call graph to a fixpoint**:
+the condensation of the graph into strongly connected components (Tarjan)
+is processed in reverse topological order, so each SCC absorbs the
+effects of everything it calls before its own members are finalised, and
+mutual recursion converges in a single pass (effects only ever grow).
+
+Propagated ``global_writes`` carry their origin, so a rule can say *which*
+function actually performs the write a worker-reachable entry point
+transitively triggers.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.staticcheck.analysis.callgraph import CallGraph
+from repro.staticcheck.analysis.symbols import (
+    FunctionSymbol,
+    SymbolTable,
+    dotted_expr,
+)
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = (
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "extendleft",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+)
+
+#: Call heads / dotted tails that count as I/O for the shallow pass.
+_IO_CALL_NAMES = ("open", "print", "input")
+_IO_MODULE_HEADS = ("os", "subprocess", "socket", "shutil", "requests", "urllib")
+
+
+@dataclass(frozen=True, order=True)
+class GlobalWrite:
+    """One module-global mutation: which name, where, by whom."""
+
+    module: str  # module owning the global
+    name: str  # the global's name
+    writer: str  # ident of the function performing the write
+    path: str
+    line: int
+
+    @property
+    def target(self) -> str:
+        """The fully qualified global name (``module.name``)."""
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class Effects:
+    """The (local or propagated) effect summary of one function."""
+
+    global_writes: Tuple[GlobalWrite, ...] = ()
+    instance_writes: Tuple[int, ...] = ()  # lines of self.* stores
+    closure_writes: Tuple[int, ...] = ()  # lines of nonlocal rebinding
+    io_calls: Tuple[int, ...] = ()  # lines of I/O calls
+    memoized: bool = False
+
+    @property
+    def is_pure(self) -> bool:
+        """No observable side effect of any tracked kind."""
+        return not (
+            self.global_writes
+            or self.instance_writes
+            or self.closure_writes
+            or self.io_calls
+        )
+
+    def merged_with(self, other: "Effects") -> "Effects":
+        """This summary plus another's effects (memoized stays local)."""
+        return Effects(
+            global_writes=tuple(
+                sorted(set(self.global_writes) | set(other.global_writes))
+            ),
+            instance_writes=tuple(
+                sorted(set(self.instance_writes) | set(other.instance_writes))
+            ),
+            closure_writes=tuple(
+                sorted(set(self.closure_writes) | set(other.closure_writes))
+            ),
+            io_calls=tuple(sorted(set(self.io_calls) | set(other.io_calls))),
+            memoized=self.memoized,
+        )
+
+
+def _is_memoized(symbol: FunctionSymbol) -> bool:
+    """Whether the function is wrapped in lru_cache/cache."""
+    for decorator in symbol.decorators:
+        tail = decorator.rsplit(".", 1)[-1]
+        if tail in ("lru_cache", "cache"):
+            return True
+    return False
+
+
+class _LocalEffectVisitor(ast.NodeVisitor):
+    """Collects one function's own effects (nested defs excluded)."""
+
+    def __init__(self, symbol: FunctionSymbol, table: SymbolTable) -> None:
+        self.symbol = symbol
+        self.table = table
+        module_symbols = table.modules.get(symbol.module)
+        self.module_globals: Set[str] = (
+            module_symbols.global_names() if module_symbols is not None else set()
+        )
+        self.mutable_globals: Set[str] = (
+            set(module_symbols.mutable_globals) if module_symbols is not None else set()
+        )
+        self.declared_global: Set[str] = set()
+        self.local_names: Set[str] = self._parameter_names()
+        self.writes: List[GlobalWrite] = []
+        self.instance_lines: Set[int] = set()
+        self.closure_lines: Set[int] = set()
+        self.io_lines: Set[int] = set()
+        # Two passes: declarations and local bindings first, so a local
+        # shadowing a module global is never misread as a global write.
+        for node in self._own_nodes():
+            if isinstance(node, ast.Global):
+                self.declared_global.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for target in self._assign_targets(node):
+                    if isinstance(target, ast.Name):
+                        self.local_names.add(target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        self.local_names.add(name_node.id)
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                for name_node in ast.walk(node.optional_vars):
+                    if isinstance(name_node, ast.Name):
+                        self.local_names.add(name_node.id)
+        self.local_names -= self.declared_global
+
+    def _parameter_names(self) -> Set[str]:
+        args = self.symbol.node.args
+        names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        return names
+
+    @staticmethod
+    def _assign_targets(
+        node: ast.AST,
+    ) -> List[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            return [node.target]
+        return []
+
+    def _own_nodes(self) -> List[ast.AST]:
+        found: List[ast.AST] = []
+        stack: List[ast.AST] = list(self.symbol.node.body)
+        while stack:
+            current = stack.pop()
+            found.append(current)
+            for child in ast.iter_child_nodes(current):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+        return found
+
+    # -- classification -------------------------------------------------
+    def _is_global_name(self, name: str) -> bool:
+        if name in self.declared_global:
+            return True
+        if name in self.local_names:
+            return False
+        return name in self.module_globals
+
+    def _record_global(self, name: str, line: int) -> None:
+        self.writes.append(
+            GlobalWrite(
+                module=self.symbol.module,
+                name=name,
+                writer=self.symbol.ident,
+                path=self.symbol.path,
+                line=line,
+            )
+        )
+
+    def collect(self) -> Effects:
+        for node in self._own_nodes():
+            self._classify(node)
+        return Effects(
+            global_writes=tuple(sorted(set(self.writes))),
+            instance_writes=tuple(sorted(self.instance_lines)),
+            closure_writes=tuple(sorted(self.closure_lines)),
+            io_calls=tuple(sorted(self.io_lines)),
+            memoized=_is_memoized(self.symbol),
+        )
+
+    def _classify(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Nonlocal):
+            self.closure_lines.add(node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            for target in self._assign_targets(node):
+                self._classify_store(target)
+        elif isinstance(node, ast.Call):
+            self._classify_call(node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._classify_store(target)
+
+    def _classify_store(self, target: ast.expr) -> None:
+        line = int(getattr(target, "lineno", self.symbol.lineno))
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self._record_global(target.id, line)
+        elif isinstance(target, ast.Subscript):
+            receiver = target.value
+            if isinstance(receiver, ast.Name):
+                if self._is_global_name(receiver.id):
+                    self._record_global(receiver.id, line)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in ("self", "cls")
+            ):
+                self.instance_lines.add(line)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id in (
+                "self",
+                "cls",
+            ):
+                self.instance_lines.add(line)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._classify_store(element)
+
+    def _classify_call(self, node: ast.Call) -> None:
+        line = node.lineno
+        func = node.func
+        # I/O vocabulary.
+        if isinstance(func, ast.Name) and func.id in _IO_CALL_NAMES:
+            self.io_lines.add(line)
+            return
+        dotted = dotted_expr(func)
+        if dotted and dotted.split(".")[0] in _IO_MODULE_HEADS and "." in dotted:
+            self.io_lines.add(line)
+            return
+        # Mutating method on a module-global container or on self.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if self._is_global_name(receiver.id):
+                    self._record_global(receiver.id, line)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in ("self", "cls")
+            ):
+                self.instance_lines.add(line)
+
+
+def local_effects(symbol: FunctionSymbol, table: SymbolTable) -> Effects:
+    """The syntactically inferred effects of one function body."""
+    return _LocalEffectVisitor(symbol, table).collect()
+
+
+# ----------------------------------------------------------------------
+# Fixpoint propagation
+# ----------------------------------------------------------------------
+def _tarjan_sccs(graph: CallGraph) -> List[Tuple[str, ...]]:
+    """Strongly connected components in reverse topological order.
+
+    Iterative Tarjan over the (deterministically ordered) call edges; the
+    emission order of Tarjan is already reverse-topological on the
+    condensation, which is exactly the order fixpoint propagation wants.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    counter = [0]
+
+    def successors(ident: str) -> List[str]:
+        return sorted({site.callee for site in graph.callees(ident)})
+
+    for root in sorted(graph.table.functions):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = successors(node)
+            advanced = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def propagate_effects(
+    graph: CallGraph, local: Optional[Dict[str, Effects]] = None
+) -> Dict[str, Effects]:
+    """Local effects closed over the call graph (callee effects absorbed).
+
+    Processes Tarjan SCCs in reverse topological order; within an SCC the
+    members share one merged summary, so mutual recursion reaches its
+    fixpoint in a single pass (effects only grow, and every callee outside
+    the SCC is already final).
+    """
+    table = graph.table
+    if local is None:
+        local = {
+            ident: local_effects(table.functions[ident], table)
+            for ident in sorted(table.functions)
+        }
+    final: Dict[str, Effects] = {}
+    for component in _tarjan_sccs(graph):
+        members: FrozenSet[str] = frozenset(component)
+        merged = Effects()
+        for ident in component:
+            merged = local.get(ident, Effects()).merged_with(merged)
+            for site in graph.callees(ident):
+                if site.callee in members:
+                    continue  # intra-SCC: absorbed via the shared summary
+                callee_effects = final.get(site.callee)
+                if callee_effects is not None:
+                    merged = merged.merged_with(callee_effects)
+        for ident in component:
+            final[ident] = Effects(
+                global_writes=merged.global_writes,
+                instance_writes=merged.instance_writes,
+                closure_writes=merged.closure_writes,
+                io_calls=merged.io_calls,
+                memoized=local.get(ident, Effects()).memoized,
+            )
+    return final
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def effects_to_dict(
+    local: Dict[str, Effects], propagated: Dict[str, Effects]
+) -> Dict[str, object]:
+    """JSON-serializable form of both effect layers."""
+
+    def one(effects: Effects) -> Dict[str, object]:
+        return {
+            "global_writes": [
+                {
+                    "module": write.module,
+                    "name": write.name,
+                    "writer": write.writer,
+                    "path": write.path,
+                    "line": write.line,
+                }
+                for write in effects.global_writes
+            ],
+            "instance_writes": list(effects.instance_writes),
+            "closure_writes": list(effects.closure_writes),
+            "io_calls": list(effects.io_calls),
+            "memoized": effects.memoized,
+            "pure": effects.is_pure,
+        }
+
+    return {
+        "version": 1,
+        "local": {ident: one(local[ident]) for ident in sorted(local)},
+        "propagated": {
+            ident: one(propagated[ident]) for ident in sorted(propagated)
+        },
+    }
+
+
+def effects_to_json(
+    local: Dict[str, Effects], propagated: Dict[str, Effects], indent: int = 2
+) -> str:
+    """Serialise both effect layers to the ``repro lint --effects`` payload."""
+    return json.dumps(effects_to_dict(local, propagated), indent=indent, sort_keys=True)
+
+
+def effects_from_json(text: str) -> Dict[str, object]:
+    """Decode an :func:`effects_to_json` payload (validating its version)."""
+    payload = json.loads(text)
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported effects payload version: {payload.get('version')!r}")
+    return {
+        "version": 1,
+        "local": payload.get("local", {}),
+        "propagated": payload.get("propagated", {}),
+    }

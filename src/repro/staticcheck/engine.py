@@ -34,6 +34,7 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -44,9 +45,13 @@ from typing import (
     Set,
     Tuple,
     Type,
+    cast,
 )
 
 from repro.staticcheck.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.staticcheck.analysis import ProjectAnalysis
 
 #: Matches a ``repro: noqa`` comment with an optional code list.  The
 #: colon after ``repro`` is required: it namespaces the pragma away from
@@ -85,10 +90,35 @@ class ModuleContext:
 
 @dataclass(frozen=True)
 class ProjectContext:
-    """Everything a project rule may look at for one lint invocation."""
+    """Everything a project rule may look at for one lint invocation.
+
+    ``modules`` holds every parsed file of the invocation, so project
+    rules can cross-reference the whole tree.  :meth:`analysis` builds the
+    interprocedural layer (symbol table, call graph, effect summaries)
+    lazily, exactly once per invocation -- the REP007--REP010 rules all
+    share the same :class:`~repro.staticcheck.analysis.ProjectAnalysis`.
+    """
 
     source_roots: Tuple[Path, ...]
     schema_path: Optional[Path]
+    modules: Tuple[ModuleContext, ...] = ()
+    _cache: Dict[str, object] = field(default_factory=dict, compare=False, repr=False)
+
+    def analysis(self) -> "ProjectAnalysis":
+        """The shared interprocedural analysis (built on first use)."""
+        cached = self._cache.get("analysis")
+        if cached is None:
+            from repro.staticcheck.analysis import analyze_modules
+
+            cached = analyze_modules(
+                [
+                    (context.path, context.display_path, context.source, context.tree)
+                    for context in self.modules
+                ],
+                self.source_roots,
+            )
+            self._cache["analysis"] = cached
+        return cast("ProjectAnalysis", cached)
 
 
 class LintRule:
@@ -422,15 +452,19 @@ def run_lint(
     roots = tuple(Path(r) for r in source_roots)
     if not roots:
         roots = tuple(sorted({_default_source_root(path) for path in files}))
-    project = ProjectContext(source_roots=roots, schema_path=schema_path)
+    contexts = [load_module_context(path, root=display_root) for path in files]
+    project = ProjectContext(
+        source_roots=roots, schema_path=schema_path, modules=tuple(contexts)
+    )
 
     findings: List[Finding] = []
     suppressed = 0
-    for path in files:
-        context = load_module_context(path, root=display_root)
+    suppressions_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for context in contexts:
         suppressions, blanket = parse_suppressions(
             context.source, context.display_path
         )
+        suppressions_by_path[context.display_path] = suppressions
         findings.extend(blanket)
         for rule in rules:
             if not rule.applies_to(context.module):
@@ -441,7 +475,14 @@ def run_lint(
                     continue
                 findings.append(finding)
     for rule in rules:
-        findings.extend(rule.check_project(project))
+        # Project findings honour the same per-line suppressions as
+        # module findings (keyed by the finding's display path).
+        for finding in rule.check_project(project):
+            per_line = suppressions_by_path.get(finding.path, {})
+            if finding.rule in per_line.get(finding.line, ()):
+                suppressed += 1
+                continue
+            findings.append(finding)
     return LintReport(
         findings=tuple(sorted(findings)),
         checked_files=len(files),

@@ -38,6 +38,11 @@ class Finding:
         ``"error"`` or ``"warning"``.
     message:
         Human-readable description of the violation and the expected fix.
+    chain:
+        Witness call chain for interprocedural findings: the function
+        identifiers from a worker entry point to the function containing
+        the violation (``()`` for per-module findings).  Reviewers can
+        follow the chain by hand instead of re-running the analysis.
     """
 
     path: str
@@ -46,6 +51,7 @@ class Finding:
     rule: str = field(default="")
     severity: str = field(default="error")
     message: str = field(default="")
+    chain: Tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -56,15 +62,41 @@ class Finding:
             raise ValueError(f"line must be 1-based, got {self.line}")
 
     def render(self) -> str:
-        """The human-readable single-line form (``path:line: CODE message``)."""
-        return f"{self.path}:{self.line}:{self.column + 1}: {self.rule} {self.message}"
+        """The human-readable single-line form (``path:line: CODE message``).
+
+        Interprocedural findings append their witness chain on a second,
+        indented line (``via: entry -> ... -> site``).
+        """
+        text = f"{self.path}:{self.line}:{self.column + 1}: {self.rule} {self.message}"
+        if self.chain:
+            text += f"\n    via: {' -> '.join(self.chain)}"
+        return text
+
+    def render_github(self) -> str:
+        """The GitHub Actions workflow-command form (``::error file=...``).
+
+        Emitted by ``repro lint --output-format github`` so findings
+        surface as inline PR annotations; the message (with the witness
+        chain appended) is escaped per the workflow-command rules.
+        """
+        command = "error" if self.severity == "error" else "warning"
+        message = self.message
+        if self.chain:
+            message += f" [via: {' -> '.join(self.chain)}]"
+        escaped = (
+            message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        return (
+            f"::{command} file={self.path},line={self.line},"
+            f"col={self.column + 1},title={self.rule}::{escaped}"
+        )
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable dict form (round-trips through :meth:`from_dict`)."""
-        return {
+        data: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -72,6 +104,9 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.chain:
+            data["chain"] = list(self.chain)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
@@ -83,6 +118,7 @@ class Finding:
             rule=str(data.get("rule", "")),
             severity=str(data.get("severity", "error")),
             message=str(data.get("message", "")),
+            chain=tuple(str(link) for link in data.get("chain", ())),
         )
 
 

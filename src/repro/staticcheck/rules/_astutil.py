@@ -83,6 +83,74 @@ def is_set_expression(node: ast.expr, set_names: Set[str]) -> bool:
     return False
 
 
+#: Builtins producing lists.
+LIST_CONSTRUCTORS = ("list",)
+
+
+def is_list_expression(node: ast.expr, list_names: Set[str]) -> bool:
+    """True when ``node`` is a list *by construction*.
+
+    Recognises list literals, list comprehensions, ``list(...)`` calls,
+    names whose nearest assignment was one of those, and ``+`` applied to
+    any such operand (list concatenation yields a list).
+    """
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node.func) in LIST_CONSTRUCTORS:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in list_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return is_list_expression(node.left, list_names) or is_list_expression(
+            node.right, list_names
+        )
+    return False
+
+
+def collect_list_names(body: List[ast.stmt]) -> Set[str]:
+    """Names whose last simple assignment in ``body`` is a list expression.
+
+    The list-typed mirror of :func:`collect_set_names`: a statement-ordered
+    single pass over one scope's direct statements, no descent into nested
+    functions.
+    """
+    names: Set[str] = set()
+
+    def scan(statements: List[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                is_list = is_list_expression(statement.value, names)
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        (names.add if is_list else names.discard)(target.id)
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if isinstance(target, ast.Name):
+                    annotation = ast.unparse(statement.annotation)
+                    is_list = annotation.split("[")[0].strip().lower() in (
+                        "list",
+                        "typing.list",
+                    ) or (
+                        statement.value is not None
+                        and is_list_expression(statement.value, names)
+                    )
+                    (names.add if is_list else names.discard)(target.id)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes track their own names
+            else:
+                for field_name in ("body", "orelse", "finalbody"):
+                    inner = getattr(statement, field_name, None)
+                    if isinstance(inner, list):
+                        scan([s for s in inner if isinstance(s, ast.stmt)])
+                handlers = getattr(statement, "handlers", None)
+                if handlers:
+                    for handler in handlers:
+                        scan([s for s in handler.body if isinstance(s, ast.stmt)])
+
+    scan(body)
+    return names
+
+
 def collect_set_names(body: List[ast.stmt]) -> Set[str]:
     """Names whose last simple assignment in ``body`` is a set expression.
 

@@ -131,6 +131,15 @@ class ForkSafetyRule(LintRule):
                     f"nested function {payload.id!r} submitted as a pool task "
                     "payload carries its closure; hoist it to module level",
                 )
+            elif _is_hazardous_partial(payload, nested):
+                yield self.finding(
+                    context,
+                    payload,
+                    "functools.partial over a bound method or closure "
+                    "submitted as a pool task payload pickles the captured "
+                    "instance/closure state; use a module-level function "
+                    "with explicit arguments",
+                )
 
     # ------------------------------------------------------------------
     def _check_global_mutation(self, context: ModuleContext) -> Iterator[Finding]:
@@ -152,6 +161,32 @@ class ForkSafetyRule(LintRule):
                         "hold stale copies -- install worker state in the "
                         "pool initializer or pass it inside tasks",
                     )
+
+
+def _is_hazardous_partial(payload: ast.expr, nested: Set[str]) -> bool:
+    """A ``functools.partial(...)`` payload wrapping a bound method/closure.
+
+    ``partial(self.method, ...)``, ``partial(obj.method, ...)`` and
+    ``partial(nested_fn, ...)`` all smuggle instance or closure state into
+    the pickled task exactly like submitting the callable directly would;
+    ``partial(module_level_fn, ...)`` is fine and is not flagged.
+    """
+    if not isinstance(payload, ast.Call):
+        return False
+    if call_name(payload.func) != "partial":
+        return False
+    if not payload.args:
+        return False
+    wrapped = payload.args[0]
+    if isinstance(wrapped, ast.Lambda):
+        return True
+    if isinstance(wrapped, ast.Attribute) and isinstance(wrapped.value, ast.Name):
+        # Only self/cls receivers are provably bound methods; flagging any
+        # attribute would false-positive on ``partial(math.pow, 2)``.
+        return wrapped.value.id in ("self", "cls")
+    if isinstance(wrapped, ast.Name) and wrapped.id in nested:
+        return True
+    return False
 
 
 def _locally_bound_names(function: ast.AST) -> Set[str]:

@@ -1,0 +1,79 @@
+"""REP008: memoised functions reachable in forked workers must be primed.
+
+A ``functools.lru_cache`` (or ``functools.cache``) wrapped function that
+executes inside a forked worker starts with whatever cache contents the
+parent had *at fork time* -- and every miss after that is invisible to
+the parent and to the other workers.  For a deterministic executor that
+is only acceptable when the cache is either
+
+* **primed before the fork** -- the memo is called from the pre-fork
+  priming protocol (``prime_context_caches`` / ``_prime_soc_pairs``) or
+  from a pool initializer, so every worker starts from the same warm,
+  complete state; or
+* **declared fork-local** -- a ``# repro: fork-local`` pragma on the
+  decorated definition states that per-worker divergence is deliberate
+  (a pure derived-value memo whose entries never escape the worker).
+
+This rule reports every memoised function that the project call graph
+shows reachable from an executor task entry point and that satisfies
+neither escape hatch.  Findings carry the witness call chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from repro.staticcheck.analysis.callgraph import is_initializer_name
+from repro.staticcheck.engine import Finding, LintRule, ProjectContext, register_rule
+from repro.staticcheck.rules.rep007_workermutation import SANCTIONED_WRITERS
+
+
+@register_rule
+class WorkerCacheRule(LintRule):
+    """Unprimed lru_cache/cache memos on the worker path."""
+
+    code = "REP008"
+    name = "worker-cache"
+    description = (
+        "lru_cache/cache memos reachable in forked workers must be primed "
+        "pre-fork (reachable from prime_context_caches or a pool "
+        "initializer) or declared '# repro: fork-local'"
+    )
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        analysis = context.analysis()
+        table = analysis.table
+        reachable = analysis.worker_reachable()
+        # Everything the priming protocol (and the initializers) touches
+        # counts as primed: those run once per parent/worker, before or
+        # at fork, so their memo contents are shared warm state.
+        primers = sorted(
+            ident
+            for ident, symbol in table.functions.items()
+            if symbol.name in SANCTIONED_WRITERS or is_initializer_name(symbol.name)
+        )
+        primed: Set[str] = set(analysis.call_graph.reachable(primers))
+        for ident in sorted(reachable):
+            symbol = table.functions.get(ident)
+            effects = analysis.local_effects.get(ident)
+            if symbol is None or effects is None or not effects.memoized:
+                continue
+            if ident in primed:
+                continue
+            if symbol.name in table.fork_local_names(symbol.module):
+                continue
+            yield Finding(
+                path=symbol.path,
+                line=symbol.lineno,
+                column=0,
+                rule=self.code,
+                severity=self.severity,
+                message=(
+                    f"memoised function {symbol.qualname!r} is reachable in "
+                    "forked workers but is never primed pre-fork; register it "
+                    "with the priming protocol (call it from "
+                    "prime_context_caches or the pool initializer) or declare "
+                    "it '# repro: fork-local'"
+                ),
+                chain=reachable[ident],
+            )

@@ -1,0 +1,155 @@
+"""REP009: swallowed failures on the parallel path.
+
+The executor's degradation contract (PR 5) is explicit: when the pool
+path fails, the engine *warns and sets* ``degraded_to_serial`` rather
+than silently serialising.  A broad/bare ``except`` in ``engine/`` or
+``solvers/`` that discards the exception -- no re-raise, no degraded
+flag, no logging -- breaks that contract in the worst possible way: a
+worker-side failure turns into a silently wrong or silently slower
+answer, and nothing in the result records that it happened.
+
+A handler is reported when all of the following hold:
+
+* it catches broadly -- bare ``except``, ``except Exception`` or
+  ``except BaseException`` (also inside a tuple);
+* its body contains no ``raise``;
+* its body neither assigns to a name/attribute containing ``degraded``
+  nor calls anything whose name contains ``warn``/``log``/``error``/
+  ``exception`` (the sanctioned ways of recording the failure).
+
+When the enclosing function is reachable from a worker entry point the
+finding carries the witness call chain -- a swallowed failure *on the
+parallel path* is exactly the case the rule exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.staticcheck.analysis import ProjectAnalysis
+
+from repro.staticcheck.engine import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    ProjectContext,
+    register_rule,
+)
+from repro.staticcheck.rules._astutil import call_name
+
+#: Exception names that make a handler "broad".
+BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+#: Substrings of attribute/name stores that record degradation.
+DEGRADED_MARKERS = ("degraded",)
+
+#: Substrings of call names that record the failure out-of-band.
+REPORTING_CALLS = ("warn", "log", "error", "exception", "print")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare handler, or one naming Exception/BaseException (even in a tuple)."""
+    if handler.type is None:
+        return True
+    candidates: Tuple[ast.expr, ...] = (handler.type,)
+    if isinstance(handler.type, ast.Tuple):
+        candidates = tuple(handler.type.elts)
+    for candidate in candidates:
+        tail = ""
+        if isinstance(candidate, ast.Name):
+            tail = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            tail = candidate.attr
+        if tail in BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _handler_discards(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body neither re-raises nor records the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = ""
+                if isinstance(target, ast.Name):
+                    name = target.id
+                elif isinstance(target, ast.Attribute):
+                    name = target.attr
+                if any(marker in name.lower() for marker in DEGRADED_MARKERS):
+                    return False
+        if isinstance(node, ast.Call):
+            called = call_name(node.func).lower()
+            if any(marker in called for marker in REPORTING_CALLS):
+                return False
+    return True
+
+
+@register_rule
+class SwallowedFailureRule(LintRule):
+    """Broad except handlers that discard exceptions in engine/solvers."""
+
+    code = "REP009"
+    name = "swallowed-failure"
+    description = (
+        "broad/bare 'except' in engine/ or solvers/ must re-raise, set a "
+        "degraded flag, or log -- silently discarding failures breaks the "
+        "executor's degradation contract"
+    )
+    scopes = ("engine/", "solvers/")
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        analysis = context.analysis()
+        reachable = analysis.worker_reachable()
+        for module in context.modules:
+            if not self.applies_to(module.module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not (_is_broad(node) and _handler_discards(node)):
+                    continue
+                chain: Tuple[str, ...] = ()
+                ident = self._enclosing_function(analysis, module, node)
+                if ident is not None and ident in reachable:
+                    chain = reachable[ident]
+                label = (
+                    "bare 'except:'"
+                    if node.type is None
+                    else f"'except {ast.unparse(node.type)}'"
+                )
+                yield Finding(
+                    path=module.display_path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    rule=self.code,
+                    severity=self.severity,
+                    message=(
+                        f"{label} discards the exception without re-raising, "
+                        "setting a degraded flag, or logging; narrow the "
+                        "exception type or record the failure"
+                    ),
+                    chain=chain,
+                )
+
+    @staticmethod
+    def _enclosing_function(
+        analysis: "ProjectAnalysis", module: ModuleContext, node: ast.ExceptHandler
+    ) -> Optional[str]:
+        """The innermost project function containing ``node``, if any."""
+        best: Optional[Tuple[int, str]] = None
+        for ident, symbol in analysis.table.functions.items():
+            if symbol.path != module.display_path:
+                continue
+            end = int(getattr(symbol.node, "end_lineno", symbol.lineno) or symbol.lineno)
+            if symbol.lineno <= node.lineno <= end:
+                candidate = (symbol.lineno, ident)
+                if best is None or candidate > best:
+                    best = candidate  # innermost = latest-starting enclosing def
+        return best[1] if best is not None else None

@@ -1,0 +1,210 @@
+"""REP010: accidental O(n^2) idioms on the scheduler hot path.
+
+``core/`` and ``wrapper/`` are the measured hot paths (the PR 3/PR 4
+benchmarks gate on them); a linear idiom quietly nested inside a loop
+turns the scheduler's carefully-incremental event loop back into a
+quadratic one the moment the synthetic 1000-core SOCs land.  The rule
+flags four shapes, each only when the shallow syntactic type pass can
+*prove* the receiver is a list by construction (so ``x in some_set`` or
+``x in some_dict`` never trips it):
+
+* **list membership in a loop** -- ``x in items`` / ``x not in items``
+  inside ``for``/``while``, where ``items`` is list-typed: each test is
+  O(n), the loop makes it O(n^2); use a set/dict alongside the list;
+* **repeated list concatenation** -- ``items = items + [...]`` (or the
+  reversed form) inside a loop copies the whole list every iteration;
+  use ``append``/``extend``;
+* **``.index()`` in a loop** -- a linear scan per iteration; carry the
+  index in the loop state instead;
+* **``sorted()`` inside the scheduler event loop** -- a full re-sort per
+  ``while``-iteration is exactly what PR 4's lazily-invalidated heaps
+  removed; keep a heap or insert in order.
+
+Scoped to ``core/`` and ``wrapper/``; fixture files outside the package
+layout see the rule everywhere (the engine's usual scope-hint contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Union
+
+from repro.staticcheck.engine import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    ProjectContext,
+    register_rule,
+)
+from repro.staticcheck.rules._astutil import (
+    call_name,
+    collect_list_names,
+    walk_functions,
+)
+
+LoopNode = Union[ast.For, ast.AsyncFor, ast.While]
+
+
+def _list_param_names(function: ast.AST) -> Set[str]:
+    """Parameters annotated as lists."""
+    names: Set[str] = set()
+    args = getattr(function, "args", None)
+    if args is None:
+        return names
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.annotation is None:
+            continue
+        head = ast.unparse(arg.annotation).split("[")[0].strip().lower()
+        if head in ("list", "typing.list", "sequence", "typing.sequence"):
+            names.add(arg.arg)
+    return names
+
+
+def _walk_loop(loop: LoopNode) -> Iterator[ast.AST]:
+    """Nodes directly inside one loop body.
+
+    Nested function definitions are excluded (separate scopes) and so are
+    nested *loops*: each loop is visited by :meth:`_own_loops` on its own,
+    so a node is only ever checked against its innermost enclosing loop.
+    """
+    stack: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    if isinstance(loop, ast.While):
+        stack.append(loop.test)  # the test re-evaluates every iteration
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            stack.append(node.iter)  # evaluated in this loop's iterations
+            continue
+        if isinstance(node, ast.While):
+            continue  # its test re-evaluates per *inner* iteration: owned there
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+@register_rule
+class HotPathComplexityRule(LintRule):
+    """Quadratic idioms in loops on the core/wrapper hot paths."""
+
+    code = "REP010"
+    name = "hot-path-complexity"
+    description = (
+        "O(n^2) idioms in core/ and wrapper/ loops: list membership tests, "
+        "repeated list concatenation, .index() scans, and sorted() inside "
+        "the scheduler event loop"
+    )
+    scopes = ("core/", "wrapper/")
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        for module in context.modules:
+            if not self.applies_to(module.module):
+                continue
+            for function in walk_functions(module.tree):
+                list_names = collect_list_names(function.body)
+                list_names |= _list_param_names(function)
+                for loop in self._own_loops(function):
+                    yield from self._check_loop(module, loop, list_names)
+
+    @staticmethod
+    def _own_loops(function: ast.AST) -> List[LoopNode]:
+        """Loops belonging to this function (not to nested functions)."""
+        loops: List[LoopNode] = []
+        stack: List[ast.AST] = list(getattr(function, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                loops.append(node)
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+        return loops
+
+    def _check_loop(
+        self,
+        module: ModuleContext,
+        loop: LoopNode,
+        list_names: Set[str],
+    ) -> Iterator[Finding]:
+        for node in _walk_loop(loop):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue  # inner loops are visited as their own loop
+            # x in items / x not in items with a list receiver.
+            if isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if (
+                        isinstance(op, (ast.In, ast.NotIn))
+                        and isinstance(comparator, ast.Name)
+                        and comparator.id in list_names
+                    ):
+                        yield self._finding(
+                            module,
+                            node,
+                            f"membership test against list {comparator.id!r} "
+                            "inside a loop is O(n) per iteration; keep a "
+                            "set/dict alongside the list",
+                        )
+            # items = items + [...] (either operand order).
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.BinOp)
+                    and isinstance(value.op, ast.Add)
+                    and any(
+                        isinstance(operand, ast.Name) and operand.id == target.id
+                        for operand in (value.left, value.right)
+                    )
+                    and (
+                        target.id in list_names
+                        or any(
+                            isinstance(operand, (ast.List, ast.ListComp))
+                            for operand in (value.left, value.right)
+                        )
+                    )
+                ):
+                    yield self._finding(
+                        module,
+                        node,
+                        f"list concatenation {target.id!r} = {target.id!r} + ... "
+                        "inside a loop copies the whole list each iteration; "
+                        "use append/extend",
+                    )
+            # items.index(...) with a list receiver.
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "index"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in list_names
+                ):
+                    yield self._finding(
+                        module,
+                        node,
+                        f"{func.value.id}.index(...) inside a loop is a linear "
+                        "scan per iteration; track the index in the loop state",
+                    )
+                # sorted() per iteration of the (while-driven) event loop.
+                elif isinstance(loop, ast.While) and call_name(func) == "sorted":
+                    yield self._finding(
+                        module,
+                        node,
+                        "sorted() inside a while-driven event loop re-sorts "
+                        "every iteration; keep a heap or insert in order",
+                    )
+
+    def _finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.display_path,
+            line=int(getattr(node, "lineno", 1)),
+            column=int(getattr(node, "col_offset", 0)),
+            rule=self.code,
+            severity=self.severity,
+            message=message,
+        )

@@ -420,10 +420,14 @@ class CurveCacheInfo:
         return self.cores
 
 
-_DATA: Dict[Core, _CurveData] = {}
-_VIEWS: Dict[Tuple[Core, int], WrapperCurve] = {}
-_HITS = 0
-_MISSES = 0
+# Fork-local by design: the per-process curve memo caches pure derived
+# values (T(1..W) staircases are a function of the core alone), so each
+# worker's private copy can only diverge in *coverage*, never in content;
+# the executor pre-warms the hot pairs before forking.
+_DATA: Dict[Core, _CurveData] = {}  # repro: fork-local
+_VIEWS: Dict[Tuple[Core, int], WrapperCurve] = {}  # repro: fork-local
+_HITS = 0  # repro: fork-local
+_MISSES = 0  # repro: fork-local
 
 
 def wrapper_curve(core: Core, max_width: int = DEFAULT_MAX_WIDTH) -> WrapperCurve:

@@ -43,7 +43,7 @@ def codes_and_lines(report):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         registry = default_rule_registry()
         assert registry.codes() == [
             "REP001",
@@ -52,6 +52,10 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
         ]
 
     def test_unknown_rule_raises(self):
@@ -171,24 +175,29 @@ class TestRep003FloatEquality:
 class TestRep004ForkSafety:
     BAD = (
         "CACHE = {}\n"
+        "from functools import partial\n"
         "def run(pool, items, scale):\n"
         "    def task(item):\n"
         "        return item * scale\n"
         "    pool.imap_unordered(lambda x: x * scale, items)\n"
         "    pool.map(task, items)\n"
+        "    pool.map(partial(task, 1), items)\n"
         "    CACHE['warm'] = True\n"
         "class Driver:\n"
         "    def go(self, pool, items):\n"
         "        pool.apply_async(self.step, items)\n"
+        "        pool.apply_async(partial(self.step, 1), items)\n"
     )
     GOOD = (
         "CACHE = {}\n"
-        "def _task(item):\n"
-        "    return item * 2\n"
+        "from functools import partial\n"
+        "def _task(item, scale=2):\n"
+        "    return item * scale\n"
         "def _init_worker(payload):\n"
         "    CACHE['socs'] = payload\n"
         "def run(pool, items):\n"
         "    pool.imap_unordered(_task, items)\n"
+        "    pool.imap_unordered(partial(_task, scale=3), items)\n"
         "def local_scratch(items):\n"
         "    CACHE = {}\n"
         "    CACHE['x'] = 1\n"
@@ -197,11 +206,15 @@ class TestRep004ForkSafety:
     def test_bad_fixture(self, tmp_path):
         report = lint_source(tmp_path, self.BAD, select=["REP004"])
         assert codes_and_lines(report) == [
-            ("REP004", 5),
             ("REP004", 6),
             ("REP004", 7),
-            ("REP004", 10),
+            ("REP004", 8),
+            ("REP004", 9),
+            ("REP004", 12),
+            ("REP004", 13),
         ]
+        partial_findings = [f for f in report.findings if f.line in (8, 13)]
+        assert all("partial" in f.message for f in partial_findings)
 
     def test_good_fixture(self, tmp_path):
         report = lint_source(tmp_path, self.GOOD, select=["REP004"])
@@ -364,12 +377,43 @@ class TestFindings:
         findings = [
             Finding(path="a.py", line=1, rule="REP001", message="m1"),
             Finding(path="b.py", line=9, column=3, rule="REP005", message="m2"),
+            Finding(
+                path="c.py",
+                line=4,
+                rule="REP007",
+                message="m3",
+                chain=("pkg.entry", "pkg.writer"),
+            ),
         ]
         payload = findings_to_json(findings)
         decoded = json.loads(payload)
         assert decoded["version"] == 1
-        assert decoded["count"] == 2
+        assert decoded["count"] == 3
         assert findings_from_json(payload) == findings
+
+    def test_render_includes_witness_chain(self):
+        f = Finding(
+            path="x.py",
+            line=2,
+            rule="REP007",
+            message="boom",
+            chain=("a.entry", "a.mid", "a.sink"),
+        )
+        assert "via: a.entry -> a.mid -> a.sink" in f.render()
+
+    def test_render_github_annotation(self):
+        f = Finding(
+            path="src/x.py",
+            line=7,
+            column=4,
+            rule="REP009",
+            message="bad\nnews",
+            chain=("a.entry",),
+        )
+        text = f.render_github()
+        assert text.startswith("::error file=src/x.py,line=7,col=5,title=REP009::")
+        assert "%0A" in text  # newline escaped per workflow-command rules
+        assert "via: a.entry" in text
 
 
 class TestShippedTree:
@@ -424,8 +468,43 @@ class TestCli:
     def test_list_rules(self):
         proc = self.run_cli("lint", "--list-rules")
         assert proc.returncode == 0
-        for code in ("REP001", "REP006"):
+        for code in ("REP001", "REP006", "REP007", "REP010"):
             assert code in proc.stdout
+
+    def test_lint_github_output_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("names = {'a', 'b'}\norder = tuple(names)\n")
+        proc = self.run_cli("lint", "--output-format", "github", str(bad))
+        assert proc.returncode == 1
+        assert "::error file=" in proc.stdout
+        assert "line=2" in proc.stdout
+        assert "title=REP001" in proc.stdout
+
+    def test_lint_artifact_exports_round_trip(self, tmp_path):
+        from repro.staticcheck.analysis import (
+            call_graph_from_json,
+            effects_from_json,
+        )
+
+        cg = tmp_path / "cg.json"
+        ef = tmp_path / "ef.json"
+        proc = self.run_cli(
+            "lint",
+            str(REPO_ROOT / "src" / "repro" / "engine"),
+            "--call-graph",
+            str(cg),
+            "--effects",
+            str(ef),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        graph_payload = call_graph_from_json(cg.read_text())
+        assert graph_payload["version"] == 1
+        assert any(
+            entry.endswith("_execute_task") for entry in graph_payload["entry_points"]
+        )
+        effects_payload = effects_from_json(ef.read_text())
+        assert effects_payload["version"] == 1
+        assert effects_payload["local"] and effects_payload["propagated"]
 
 
 class TestBenchGate:
