@@ -34,6 +34,16 @@ Subcommands
     ``--check-golden FILE`` fails (exit 1) when makespans or schedule
     fingerprints drift from the checked-in golden values.  Refuses to
     write the report while the wire format has unreviewed drift (REP005).
+``chaos``
+    Prove fault tolerance deterministically: solve one SOC serially
+    (fault-free reference), re-solve it on a dedicated parallel executor
+    armed with a :class:`~repro.engine.faults.FaultPlan` (worker kills,
+    injected exceptions, hangs, pool-creation failures), and fail
+    (exit 1) unless the faulted run's schedule is byte-identical to the
+    reference.  ``--journal`` exports the structured fault journal
+    (failures + recovery-ladder events) as JSON; ``--check-golden``
+    additionally pins the makespan/fingerprint against the checked-in
+    golden file.
 ``lint``
     Run the determinism & fork-safety static-analysis suite
     (:mod:`repro.staticcheck`) over the source tree; ``--json`` emits the
@@ -362,6 +372,193 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace) -> "object":
+    """Resolve the fault plan: --plan (inline JSON or file), else the env hook."""
+    from repro.engine.faults import FaultPlan
+
+    if args.plan:
+        text = args.plan.strip()
+        if text.startswith("{"):
+            return FaultPlan.from_json(text)
+        return FaultPlan.from_file(args.plan)
+    plan = FaultPlan.from_env()
+    return plan if plan is not None else FaultPlan()
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import warnings
+
+    from repro.analysis.perf import SOLVE_OPTIONS, check_golden, load_report
+    from repro.analysis.perf import schedule_fingerprint as fingerprint
+    from repro.engine.executor import FlatExecutor, use_executor
+    from repro.engine.faults import FaultPlanError, journal_to_json, ladder_stage
+
+    try:
+        plan = _chaos_plan(args)
+    except (FaultPlanError, OSError) as error:
+        print(f"error: bad fault plan: {error}", file=sys.stderr)
+        return 2
+    if not plan:
+        print(
+            "warning: empty fault plan (no --plan and no REPRO_FAULT_PLAN); "
+            "running the harness fault-free",
+            file=sys.stderr,
+        )
+
+    soc, constraints = _load(args)
+    options = dict(SOLVE_OPTIONS.get(args.solver, {}))
+    if args.full_grid:
+        options = {}
+    if getattr(args, "options", None):
+        try:
+            extra = json.loads(args.options)
+        except json.JSONDecodeError as error:
+            print(f"error: --options is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(extra, dict):
+            print("error: --options must be a JSON object", file=sys.stderr)
+            return 2
+        options.update(extra)
+    grid_trimmed = any(key in options for key in ("percents", "deltas", "slacks"))
+
+    def solve(workers: int):
+        request = ScheduleRequest(
+            soc=soc,
+            total_width=args.width,
+            solver=args.solver,
+            constraints=constraints,
+            options={**options, "workers": workers},
+        )
+        return get_default_session().solve(request)
+
+    try:
+        reference = solve(workers=0)
+    except SolverError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    chaos_executor = FlatExecutor(
+        fault_plan=plan if plan else None, task_deadline=args.deadline
+    )
+    with use_executor(chaos_executor):
+        with warnings.catch_warnings():
+            # Recovery is the point here: the pool-degrade RuntimeWarning
+            # is recorded in the journal instead of spamming stderr.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            try:
+                faulted = solve(workers=args.workers)
+            except SolverError as error:
+                print(f"error: faulted solve failed: {error}", file=sys.stderr)
+                return 2
+            except Exception as error:
+                # The ladder deliberately re-raises when a fault plan
+                # exceeds the retry budget; report the journal it left
+                # behind instead of a raw traceback.
+                failures = chaos_executor.last_failures
+                events = chaos_executor.last_recovery_events
+                print(
+                    "CHAOS UNRECOVERED: the faulted run did not survive the "
+                    f"fault plan: {error!r}",
+                    file=sys.stderr,
+                )
+                for event in events:
+                    print(f"  event  : {event.encode()}", file=sys.stderr)
+                for record in failures:
+                    print(f"  fault  : {record.render()}", file=sys.stderr)
+                if args.journal:
+                    payload = journal_to_json(
+                        failures,
+                        events,
+                        extra={
+                            "soc": soc.name,
+                            "width": args.width,
+                            "solver": args.solver,
+                            "workers": args.workers,
+                            "plan": plan.to_dict(),
+                            "unrecovered_error": repr(error),
+                        },
+                    )
+                    with open(args.journal, "w", encoding="utf-8") as handle:
+                        handle.write(payload)
+                        handle.write("\n")
+                    print(f"wrote {args.journal}", file=sys.stderr)
+                return 1
+        failures = chaos_executor.last_failures
+        events = chaos_executor.last_recovery_events
+
+    reference_print = fingerprint(reference.schedule)
+    faulted_print = fingerprint(faulted.schedule)
+    identical = (
+        reference.makespan == faulted.makespan and reference_print == faulted_print
+    )
+    stage = ladder_stage(events)
+
+    # Golden keys follow the perf suites: the full default grid of the
+    # ``best`` solver is the ``best-full`` measurement, anything else the
+    # solve-matrix cell.
+    label = args.solver
+    if args.solver == "best" and not grid_trimmed:
+        label = "best-full"
+    key = f"{soc.name}/{label}/{args.width}"
+
+    print(f"soc          : {soc.name} (TAM width {args.width}, solver {args.solver})")
+    print(f"fault plan   : {len(plan.actions)} action(s)")
+    print(f"reference    : makespan {reference.makespan} ({reference_print})")
+    print(f"faulted      : makespan {faulted.makespan} ({faulted_print})")
+    print(f"recovery     : stage {stage}, {len(events)} event(s), "
+          f"{len(failures)} failure record(s)")
+    for event in events:
+        print(f"  event  : {event.encode()}")
+    for record in failures:
+        print(f"  fault  : {record.render()}")
+
+    if args.journal:
+        payload = journal_to_json(
+            failures,
+            events,
+            extra={
+                "soc": soc.name,
+                "width": args.width,
+                "solver": args.solver,
+                "workers": args.workers,
+                "plan": plan.to_dict(),
+                "makespans": {key: faulted.makespan},
+                "fingerprints": {key: faulted_print},
+                "reference_makespan": reference.makespan,
+                "identical": identical,
+                "stage": stage,
+            },
+        )
+        with open(args.journal, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        print(f"wrote {args.journal}")
+
+    status = 0
+    if not identical:
+        print(
+            "CHAOS DRIFT: faulted run diverged from the fault-free serial "
+            "reference",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.check_golden:
+        report = {
+            "makespans": {key: faulted.makespan},
+            "fingerprints": {key: faulted_print},
+        }
+        drifts = check_golden(report, load_report(args.check_golden))
+        if drifts:
+            for drift in drifts:
+                print(f"GOLDEN DRIFT: {drift}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"golden check against {args.check_golden}: OK")
+    if status == 0:
+        print("chaos check: OK (faulted run byte-identical to reference)")
+    return status
+
+
 def _lint_defaults() -> Tuple[Optional[Path], List[Path], Tuple[Path, ...]]:
     """Checkout-aware lint defaults: (repo root, default paths, source roots).
 
@@ -607,6 +804,62 @@ def build_parser() -> argparse.ArgumentParser:
         "exit 1 on drift",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="prove fault tolerance: solve under an injected fault plan and "
+        "compare against the fault-free serial reference",
+    )
+    _add_soc_argument(p_chaos)
+    p_chaos.add_argument("width", type=int, help="total SOC TAM width")
+    p_chaos.add_argument(
+        "--solver",
+        default="best",
+        help="registry solver to harden (default: best, whose grid fan-out "
+        "exercises the parallel path)",
+    )
+    p_chaos.add_argument(
+        "--plan",
+        help="fault plan: inline JSON (starts with '{') or a path to a plan "
+        "file; default: the REPRO_FAULT_PLAN environment hook",
+    )
+    p_chaos.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=2,
+        help="worker processes for the faulted run (default 2)",
+    )
+    p_chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-task watchdog deadline in seconds for the faulted run "
+        "(default: REPRO_TASK_DEADLINE or 300)",
+    )
+    p_chaos.add_argument(
+        "--options",
+        help="extra solver options as a JSON object (merged over the perf "
+        "suite's trimmed grid for 'best')",
+    )
+    p_chaos.add_argument(
+        "--full-grid",
+        action="store_true",
+        help="drop the trimmed grid and sweep the solver's full default "
+        "grid (golden key '<soc>/best-full/<width>' for 'best')",
+    )
+    p_chaos.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write the structured fault journal (failures + recovery "
+        "events) as JSON to FILE",
+    )
+    p_chaos.add_argument(
+        "--check-golden",
+        metavar="FILE",
+        help="also compare the faulted run's makespan/fingerprint against "
+        "this golden JSON and exit 1 on drift",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint",

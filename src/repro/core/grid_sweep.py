@@ -42,7 +42,10 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: repro.engine imports this module
+    from repro.engine.faults import RecoveryEvent
 
 from repro.core.lower_bounds import lower_bound
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
@@ -94,10 +97,12 @@ class GridSweepOutcome:
 
     All comparable fields are deterministic functions of the inputs --
     identical for every worker count -- so the outcome is safe to
-    fingerprint.  ``degraded_to_serial`` records that a requested worker
-    pool could not be created (environment-dependent, so excluded from
-    equality); it surfaces in :meth:`metadata` only when set, keeping
-    serial-reference metadata comparisons exact.
+    fingerprint.  ``recovery_events`` records the recovery-ladder steps
+    (``resurrected``/``quarantined``/``serial``) the flat executor took to
+    finish the sweep (environment-dependent, so excluded from equality);
+    a clean run has none, keeping serial-reference comparisons exact.
+    ``degraded_to_serial`` is the derived compatibility flag: ``True``
+    whenever any rung of the ladder was the serial path.
     """
 
     schedule: TestSchedule
@@ -107,7 +112,14 @@ class GridSweepOutcome:
     unique_runs: int
     lower_bound: int
     early_exit: bool
-    degraded_to_serial: bool = field(default=False, compare=False)
+    recovery_events: Tuple["RecoveryEvent", ...] = field(default=(), compare=False)
+
+    @property
+    def degraded_to_serial(self) -> bool:
+        """Derived compatibility flag: did any work run on the serial rung?"""
+        # Stage names are stable string constants (see repro.engine.faults,
+        # not importable here at runtime without a cycle).
+        return any(event.stage == "serial" for event in self.recovery_events)
 
     def metadata(self) -> Dict[str, Any]:
         """Flat, JSON/CSV-friendly form for ``ScheduleResult.metadata``."""
@@ -120,6 +132,10 @@ class GridSweepOutcome:
             "lower_bound": self.lower_bound,
             "early_exit": self.early_exit,
         }
+        if self.recovery_events:
+            metadata["recovery_events"] = ">".join(
+                event.encode() for event in self.recovery_events
+            )
         if self.degraded_to_serial:
             metadata["degraded_to_serial"] = True
         return metadata
@@ -298,13 +314,13 @@ def run_grid_sweep(
     ordered = order_runs_by_estimate(soc, sets, total_width, runs)
 
     best: Optional[Tuple[int, int, GridPoint, TestSchedule]] = None
-    degraded = False
+    events: Tuple["RecoveryEvent", ...] = ()
 
     if min(int(workers), len(runs)) > 1:
         # Lazy import: repro.engine imports this module at load time.
         from repro.engine.executor import get_default_executor
 
-        flat = get_default_executor().run_grid_runs(
+        flat, events, _failures = get_default_executor().run_grid_runs(
             soc,
             total_width,
             constraints,
@@ -315,10 +331,12 @@ def run_grid_sweep(
             workers,
             rectangle_sets=sets,
         )
-        if flat is None:
-            degraded = True  # warning already emitted by the executor
-        else:
+        if flat is not None:
             best = flat
+        # flat is None only when the executor declined to parallelise at
+        # all (too few runs per worker); pool failures are recovered
+        # *inside* the executor (resurrection or serial drain) and still
+        # yield a winner, with the ladder reported through ``events``.
 
     if best is None:
 
@@ -357,7 +375,7 @@ def run_grid_sweep(
         unique_runs=len(runs),
         lower_bound=bound,
         early_exit=makespan <= bound,
-        degraded_to_serial=degraded,
+        recovery_events=events,
     )
 
 

@@ -34,6 +34,16 @@ from repro.engine.executor import (
     FlatExecutor,
     close_default_executor,
     get_default_executor,
+    use_executor,
+)
+from repro.engine.faults import (
+    RECOVERY_LADDER,
+    FailureRecord,
+    FaultAction,
+    FaultPlan,
+    FaultPlanError,
+    InjectedFault,
+    RecoveryEvent,
 )
 from repro.engine.grid import GridError, ParameterGrid
 from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
@@ -49,9 +59,17 @@ __all__ = [
     "EngineError",
     "SweepResults",
     "ExecutorStats",
+    "FailureRecord",
+    "FaultAction",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFault",
+    "RecoveryEvent",
+    "RECOVERY_LADDER",
     "FlatExecutor",
     "get_default_executor",
     "close_default_executor",
+    "use_executor",
     "run_jobs",
     "run_grid",
     "execute_job",

@@ -39,22 +39,49 @@ of best-over-grid solves) never used more than one process per grid point.
   down explicitly and an ``atexit`` hook closes the process-wide default
   executor.
 
+* **Supervision.**  Dispatch runs under a watchdog (see
+  :mod:`repro.engine.faults`): every task failure becomes a structured
+  :class:`~repro.engine.faults.FailureRecord`, worker exceptions get a
+  bounded deterministic retry (exponential backoff keyed on the task
+  fingerprint -- no wall-clock jitter), a stalled or broken pool (worker
+  kills surface as stalls under ``multiprocessing.Pool``, which silently
+  replaces dead workers and loses their in-flight results) is torn down
+  and *resurrected* with only the unacknowledged tasks re-dispatched, a
+  task implicated in two pool deaths is *quarantined* (re-run in-process,
+  never handed to a worker again), and when no pool can be created at all
+  the remaining tasks drain on the deterministic serial path.  Each
+  downward step is recorded on the ordered recovery ladder
+  ``parallel -> resurrected -> quarantined -> serial``
+  (:class:`~repro.engine.faults.RecoveryEvent`), surfaced through
+  :class:`~repro.engine.results.ExecutorStats`, result metadata and the
+  ``repro chaos`` harness; ``degraded_to_serial`` survives as a derived
+  compatibility property.  Because retry, re-dispatch and quarantine all
+  re-execute *pure* tasks and reassembly stays keyed on
+  ``(job index, run key)``, recovered runs remain bit-identical to the
+  fault-free serial reference -- the property the chaos tests pin under
+  injected worker kills, exceptions, hangs and pool-creation failures
+  (:class:`~repro.engine.faults.FaultPlan`, ``REPRO_FAULT_PLAN``).
+
 When no pool can be created at all (sandboxes without semaphores,
 daemonic workers) the executor degrades to the deterministic serial path
 -- *observably*: a :class:`RuntimeWarning` is emitted and the returned
-:class:`~repro.engine.results.SweepResults` carry
-``degraded_to_serial=True`` in their :class:`~repro.engine.results.ExecutorStats`.
+:class:`~repro.engine.results.SweepResults` carry a ``serial`` recovery
+event (hence ``degraded_to_serial=True``) in their
+:class:`~repro.engine.results.ExecutorStats`.
 """
 
 from __future__ import annotations
 
 import atexit
+import contextlib
 import ctypes
 import multiprocessing
+import os
+import pickle
 import threading
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.data_volume import tester_data_volume
@@ -72,6 +99,19 @@ from repro.core.grid_sweep import (
 )
 from repro.core.lower_bounds import lower_bound
 from repro.core.scheduler import SchedulerConfig
+from repro.engine.faults import (
+    STAGE_PARALLEL,
+    STAGE_QUARANTINED,
+    STAGE_RESURRECTED,
+    STAGE_SERIAL,
+    FailureRecord,
+    FaultPlan,
+    RecoveryEvent,
+    apply_task_fault,
+    backoff_delay,
+    encode_recovery_events,
+    format_error,
+)
 from repro.engine.jobs import EngineContext, EngineError, JobResult, ScheduleJob
 from repro.engine.results import ExecutorStats, SweepResults
 from repro.schedule.schedule import TestSchedule
@@ -89,9 +129,42 @@ _BEST_OPTION_NAMES = frozenset({"percents", "deltas", "slacks", "workers"})
 #: working semaphores, platforms without fork/spawn, daemonic workers).
 _POOL_CREATION_ERRORS = (ImportError, OSError, PermissionError, AssertionError)
 
+try:  # the canonical dead-pool exception lives in concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool as _BrokenProcessPool
+except ImportError:  # pragma: no cover - ancient/stripped stdlib
+
+    class _BrokenProcessPool(RuntimeError):  # type: ignore[no-redef]
+        """Placeholder when concurrent.futures is unavailable."""
+
+
+#: Exceptions that mean "the pool died under us mid-stream" (a worker was
+#: killed hard enough to break the result pipe, or the pool machinery
+#: itself tore).  ``BrokenPipeError``/``ConnectionError`` are ``OSError``
+#: subclasses; the broad ``OSError`` is deliberate -- on the parent-side
+#: result iterator any I/O error is pool infrastructure, never task code
+#: (task exceptions come back as :class:`_TaskFailure` payloads).
+_POOL_DEATH_ERRORS = (_BrokenProcessPool, OSError, EOFError)
+
 #: Slots on the shared incumbent board (one per concurrently-dispatched
 #: grid plan; plans beyond the board fall back to dispatch-time limits).
 _BOARD_SLOTS = 1024
+
+#: How many pool deaths a task must be in flight for before it is deemed
+#: poisoned and quarantined to the in-process serial path.
+_QUARANTINE_STRIKES = 2
+
+#: Watchdog default: a pooled run with no task reply for this long is
+#: declared stalled and resurrected.  Generous on purpose -- legitimate
+#: scheduler runs are sub-second, so a stall is pathological long before
+#: five minutes -- and overridable per executor or via the environment.
+DEFAULT_TASK_DEADLINE = 300.0
+ENV_TASK_DEADLINE = "REPRO_TASK_DEADLINE"
+
+#: Bounded-retry defaults: a task exception is retried at most this many
+#: times, with deterministic exponential backoff (see
+#: :func:`repro.engine.faults.backoff_delay`) between rounds.
+DEFAULT_MAX_TASK_RETRIES = 2
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -212,11 +285,18 @@ _WORKER_SOCS: Optional[Dict[str, Soc]] = None
 # stale read can only yield a *looser* limit -- never an unsound one.
 _WORKER_BOARD: Optional[Any] = None  # repro: fork-local
 
+# The fault-injection plan, installed only in pool workers: the parent's
+# quarantine and serial-drain paths run injection-free by construction, so
+# every recovery ladder terminates (a persistently-hanging task can only
+# hang a disposable worker, never the supervising process).
+_WORKER_FAULTS: Optional[FaultPlan] = None  # repro: fork-local
+
 
 def _init_worker(
     socs: Dict[str, Soc],
     pairs: Sequence[Tuple[str, int]],
     board: Optional[Any] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Pool initializer: install the SOC universe, warm the caches.
 
@@ -224,9 +304,10 @@ def _init_worker(
     pairs just before creating the pool); under ``spawn`` it does the real
     work once per worker.
     """
-    global _WORKER_SOCS, _WORKER_BOARD
+    global _WORKER_SOCS, _WORKER_BOARD, _WORKER_FAULTS
     _WORKER_SOCS = dict(socs)
     _WORKER_BOARD = board
+    _WORKER_FAULTS = faults
     _prime_soc_pairs(_WORKER_SOCS, pairs)
 
 
@@ -236,11 +317,14 @@ class _JobTask:
 
     The constraint set is resolved in the parent and travels with the
     task (it is small); the SOC stays a key into the worker's universe.
+    ``attempt`` is the 1-based dispatch count (stamped by the supervisor;
+    it feeds retry bookkeeping and deterministic fault injection).
     """
 
     job_index: int
     job: ScheduleJob
     constraints: Optional[ConstraintSet]
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -250,7 +334,8 @@ class _GridTask:
     ``limit`` is the incumbent makespan of the owning job at dispatch time
     (monotone-tightening only; ``None`` until the job's first result).
     ``slot`` indexes the shared incumbent board for a fresher limit at run
-    time (``-1`` when no board is available).
+    time (``-1`` when no board is available).  ``attempt`` is the 1-based
+    dispatch count stamped by the supervisor.
     """
 
     job_index: int
@@ -263,6 +348,66 @@ class _GridTask:
     vector: Tuple[int, ...]
     limit: Optional[int]
     slot: int = -1
+    attempt: int = 1
+
+
+_Task = Union[_JobTask, _GridTask]
+
+#: Supervisor-side task identity, stable across retries and resurrection
+#: rounds: ``(job index, run index)`` with ``-1`` for whole-job tasks.
+_TaskKey = Tuple[int, int]
+
+
+def _task_key(task: _Task) -> _TaskKey:
+    return (task.job_index, task.run_index if isinstance(task, _GridTask) else -1)
+
+
+def task_fingerprint(task: _Task) -> str:
+    """The stable, human-greppable identity of one task.
+
+    Fault plans match on substrings of this string and the retry backoff
+    is keyed on it, so the format is part of the chaos-harness contract:
+    ``job:{soc}:w{width}:{solver}:i{job index}`` for whole jobs,
+    ``grid:{soc}:w{width}:j{job index}:r{run index}`` for grid runs.
+    """
+    if isinstance(task, _JobTask):
+        job = task.job
+        return f"job:{job.soc}:w{job.width}:{job.solver}:i{job.index}"
+    return f"grid:{task.soc}:w{task.width}:j{task.job_index}:r{task.run_index}"
+
+
+@dataclass(frozen=True)
+class _TaskFailure:
+    """A worker-side task exception, shipped back as an ordinary reply.
+
+    Returning failures as payloads (rather than letting them propagate
+    through ``imap_unordered``) keeps the result iterator healthy, so one
+    bad task cannot poison the replies of its siblings.  ``exception``
+    carries the original exception when it pickles cleanly (verified
+    worker-side with a full dumps/loads round-trip), letting the parent
+    re-raise the canonical error after retries are exhausted.
+    """
+
+    fingerprint: str
+    attempt: int
+    error: str
+    exception: Optional[BaseException] = None
+
+
+def _portable_exception(
+    error: BaseException,
+) -> Tuple[Optional[BaseException], str]:
+    """``(error, "")`` when it survives a pickle round-trip, else ``(None, why)``.
+
+    Custom ``__reduce__``/``__setstate__`` hooks can raise anything, so the
+    probe has to catch broadly; the reason travels back as text so the
+    parent's journal still explains why the canonical exception was dropped.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+    except Exception as probe:
+        return None, f"exception not portable ({format_error(probe)})"
+    return error, ""
 
 
 #: What a worker sends back per task, keyed for deterministic reassembly:
@@ -270,12 +415,49 @@ class _GridTask:
 #: ``None`` for whole-job tasks (payload: the JobResult); for grid tasks
 #: the payload is ``None`` (pruned), a bare makespan (completed but not a
 #: strict improvement on the dispatch limit -- the schedule stays in the
-#: worker to save IPC), or a ``(makespan, schedule)`` pair.
+#: worker to save IPC), or a ``(makespan, schedule)`` pair.  A task that
+#: raised ships a :class:`_TaskFailure` payload instead.
 _TaskReply = Tuple[int, Optional[int], Any, float]
 
 
-def _execute_task(task: Union[_JobTask, _GridTask]) -> _TaskReply:
+def _execute_task(task: _Task) -> _TaskReply:
+    """Worker entry point: fault-injection hook, payload, failure capture."""
     started = time.perf_counter()
+    fingerprint = task_fingerprint(task)
+    try:
+        if _WORKER_FAULTS is not None:
+            apply_task_fault(_WORKER_FAULTS, fingerprint, task.attempt)
+        return _execute_payload(task, started)
+    except (KeyboardInterrupt, SystemExit):
+        # Genuinely fatal: let it kill this worker; the parent's watchdog
+        # supervises the resulting stall.
+        raise
+    except Exception as error:
+        run_index = task.run_index if isinstance(task, _GridTask) else None
+        portable, note = _portable_exception(error)
+        text = format_error(error)
+        failure = _TaskFailure(
+            fingerprint=fingerprint,
+            attempt=task.attempt,
+            error=f"{text}; {note}" if note else text,
+            exception=portable,
+        )
+        return (task.job_index, run_index, failure, time.perf_counter() - started)
+
+
+def _execute_chunk(tasks: Tuple[_Task, ...]) -> Tuple[_TaskReply, ...]:
+    """Worker entry point: run a parent-chunked batch of tasks.
+
+    Chunking happens parent-side rather than through ``imap_unordered``'s
+    own ``chunksize``: CPython wraps a chunked ``imap_unordered`` in a
+    plain flattening generator, which loses the ``next(timeout=...)`` API
+    the watchdog needs.  A worker death mid-chunk loses the whole batch's
+    replies; every task in it stays unacknowledged and re-dispatches.
+    """
+    return tuple(_execute_task(task) for task in tasks)
+
+
+def _execute_payload(task: _Task, started: float) -> _TaskReply:
     assert _WORKER_SOCS is not None, "worker used before initialization"
     if isinstance(task, _JobTask):
         soc = _WORKER_SOCS[task.job.soc]
@@ -328,7 +510,7 @@ def _execute_task(task: Union[_JobTask, _GridTask]) -> _TaskReply:
 class _JobPlan:
     """A job executed whole: exactly one task, result passed through."""
 
-    __slots__ = ("job", "constraints", "result")
+    __slots__ = ("job", "constraints", "result", "events")
 
     def __init__(
         self, job: ScheduleJob, constraints: Optional[ConstraintSet]
@@ -336,17 +518,31 @@ class _JobPlan:
         self.job = job
         self.constraints = constraints
         self.result: Optional[JobResult] = None
+        self.events: List[RecoveryEvent] = []
 
     @property
     def task_count(self) -> int:
         return 1
+
+    @property
+    def settled(self) -> bool:
+        return self.result is not None
 
     def absorb(self, run_index: Optional[int], payload: Any, wall: float) -> None:
         self.result = payload
 
     def finish(self, session: Any) -> JobResult:
         assert self.result is not None, "job task produced no result"
-        return self.result
+        result = self.result
+        if self.events:
+            # Recovery steps that touched this job travel in its metadata
+            # (scalar-encoded, so sweep CSV exports grow the column).  A
+            # clean run appends nothing, keeping serial/parallel metadata
+            # comparisons exact.
+            metadata = dict(result.metadata)
+            metadata["recovery_events"] = encode_recovery_events(self.events)
+            result = replace(result, metadata=tuple(sorted(metadata.items())))
+        return result
 
 
 class _GridPlan:
@@ -375,6 +571,8 @@ class _GridPlan:
         "wall",
         "dispatched",
         "slot",
+        "acked",
+        "events",
     )
 
     def __init__(
@@ -404,10 +602,19 @@ class _GridPlan:
         self.wall = 0.0
         self.dispatched = 0
         self.slot = -1  # shared incumbent-board slot, assigned at dispatch
+        self.acked: Set[int] = set()  # run indexes with an absorbed reply
+        self.events: List[RecoveryEvent] = []
 
     @property
     def task_count(self) -> int:
         return len(self.runs)
+
+    @property
+    def settled(self) -> bool:
+        """Every run is acknowledged or provably skippable."""
+        return all(
+            run.index in self.acked or self.skippable(run) for run in self.runs
+        )
 
     # -- dispatch-side -------------------------------------------------
     def limit(self) -> Optional[int]:
@@ -441,6 +648,8 @@ class _GridPlan:
     # -- result-side ---------------------------------------------------
     def absorb(self, run_index: Optional[int], payload: Any, wall: float) -> None:
         self.wall += wall
+        if run_index is not None:
+            self.acked.add(run_index)
         if payload is None:  # pruned by the incumbent
             return
         if isinstance(payload, tuple):
@@ -496,6 +705,7 @@ class _GridPlan:
             unique_runs=len(self.runs),
             lower_bound=self.bound,
             early_exit=makespan <= self.bound,
+            recovery_events=tuple(self.events),
         )
         # Parity with Session.solve: the best solver supports constraints,
         # so its schedules are validated against them.
@@ -515,6 +725,95 @@ _Plan = Union[_JobPlan, _GridPlan]
 
 
 # ----------------------------------------------------------------------
+# Supervision bookkeeping
+# ----------------------------------------------------------------------
+class _Journal:
+    """Mutable per-run fault journal (parent-side only).
+
+    Accumulates the structured :class:`FailureRecord`\\ s and recovery
+    ladder :class:`RecoveryEvent`\\ s that one ``run_jobs``/``run_grid_runs``
+    call produced, plus the matching counters; frozen into
+    :class:`~repro.engine.results.ExecutorStats` when the run finishes.
+    """
+
+    __slots__ = (
+        "failures",
+        "events",
+        "retries",
+        "resurrections",
+        "quarantined",
+        "pools_created",
+    )
+
+    def __init__(self) -> None:
+        self.failures: List[FailureRecord] = []
+        self.events: List[RecoveryEvent] = []
+        self.retries = 0
+        self.resurrections = 0
+        self.quarantined = 0
+        self.pools_created = 0
+
+    def failure(
+        self,
+        kind: str,
+        action: str,
+        error: str = "",
+        task: str = "",
+        attempt: int = 0,
+    ) -> FailureRecord:
+        record = FailureRecord(
+            kind=kind, task=task, attempt=attempt, error=error, action=action
+        )
+        self.failures.append(record)
+        return record
+
+    def event(self, stage: str, reason: str, task: str = "") -> RecoveryEvent:
+        event = RecoveryEvent(stage=stage, reason=reason, task=task)
+        self.events.append(event)
+        return event
+
+
+@dataclass(frozen=True)
+class _RoundFailure:
+    """One dead/stalled dispatch round: what broke, and the suspects.
+
+    ``suspects`` holds every task that was dispatched but unacknowledged
+    when the pool died -- the only tasks whose work could have been lost,
+    and therefore the only ones re-dispatched after resurrection.
+    """
+
+    kind: str  # "pool-stall" | "pool-death"
+    reason: str  # recovery-event slug: "stalled" | "pool-death"
+    error: str
+    suspects: Dict[_TaskKey, _Task]
+
+
+def _resolve_task_deadline(value: Optional[float]) -> Optional[float]:
+    """The effective watchdog deadline; ``None`` means disabled."""
+    if value is None:
+        raw = os.environ.get(ENV_TASK_DEADLINE, "").strip()
+        if raw:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise EngineError(
+                    f"{ENV_TASK_DEADLINE}={raw!r} is not a number"
+                ) from None
+        else:
+            value = DEFAULT_TASK_DEADLINE
+    return float(value) if value > 0 else None
+
+
+def _warn_pool_degrade(reason: str, detail: str) -> None:
+    warnings.warn(
+        f"{reason}: no worker pool could be created ({detail}); degrading "
+        "to the serial path (results are identical, wall time is not)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+# ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
 class FlatExecutor:
@@ -530,21 +829,62 @@ class FlatExecutor:
     default executor (:func:`get_default_executor`) is closed at exit.
     """
 
-    def __init__(self, window_factor: int = 4) -> None:
+    def __init__(
+        self,
+        window_factor: int = 4,
+        task_deadline: Optional[float] = None,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        """Configure the supervision envelope.
+
+        ``task_deadline`` is the watchdog: seconds without any task reply
+        before the pool is declared stalled and resurrected (``None``
+        reads ``REPRO_TASK_DEADLINE`` or falls back to the default; a
+        non-positive value disables the watchdog entirely).
+        ``max_task_retries`` bounds worker-side retries per task;
+        ``retry_backoff`` is the deterministic exponential-backoff base
+        (non-positive disables sleeping).  ``fault_plan`` installs a
+        deterministic injection schedule in every pool worker (``None``
+        reads ``REPRO_FAULT_PLAN``; an empty plan means no injection).
+        """
         if window_factor < 1:
             raise EngineError("window_factor must be positive")
         self._window_factor = int(window_factor)
+        self._task_deadline = _resolve_task_deadline(task_deadline)
+        if max_task_retries < 0:
+            raise EngineError(
+                f"max_task_retries must be non-negative, got {max_task_retries}"
+            )
+        self._max_task_retries = int(max_task_retries)
+        self._retry_backoff = float(retry_backoff)
+        plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self._fault_plan: Optional[FaultPlan] = plan if plan else None
+        self._pool_faults_left = plan.pool_failure_budget() if plan else 0
         self._pool: Optional[Any] = None
         self._board: Optional[Any] = None
         self._socs: Optional[Dict[str, Soc]] = None
         self._processes = 0
         self._pairs: Set[Tuple[str, int]] = set()
+        self._last_failures: Tuple[FailureRecord, ...] = ()
+        self._last_events: Tuple[RecoveryEvent, ...] = ()
 
     # -- lifecycle ------------------------------------------------------
     @property
     def pool_alive(self) -> bool:
         """Whether a worker pool is currently up."""
         return self._pool is not None
+
+    @property
+    def last_failures(self) -> Tuple[FailureRecord, ...]:
+        """The fault journal of the most recent run (empty when clean)."""
+        return self._last_failures
+
+    @property
+    def last_recovery_events(self) -> Tuple[RecoveryEvent, ...]:
+        """The recovery ladder of the most recent run (empty when clean)."""
+        return self._last_events
 
     @property
     def processes(self) -> int:
@@ -574,12 +914,14 @@ class FlatExecutor:
         pairs: Set[Tuple[str, int]],
         processes: int,
         reason: str,
+        journal: _Journal,
     ) -> Optional[Any]:
         """A pool matching (SOC universe, processes) with ``pairs`` warm.
 
         The parent's caches are primed *before* the fork so workers inherit
-        them warm.  On creation failure a RuntimeWarning is emitted and
-        ``None`` returned -- callers degrade to their serial path.
+        them warm.  On creation failure a RuntimeWarning is emitted, a
+        ``pool-creation`` :class:`FailureRecord` is journalled and ``None``
+        returned -- the supervisor drains the remaining work serially.
         """
         if (
             self._pool is not None
@@ -593,6 +935,14 @@ class FlatExecutor:
             return self._pool
         self.close()
         _prime_soc_pairs(socs, pairs)
+        if self._fault_plan is not None and self._pool_faults_left > 0:
+            # Injected pool-creation failure: consume one budget unit and
+            # behave exactly like the real thing (warning included).
+            self._pool_faults_left -= 1
+            error_text = "InjectedFault: injected pool-creation failure"
+            journal.failure(kind="pool-creation", action="serial", error=error_text)
+            _warn_pool_degrade(reason, error_text)
+            return None
         pool_context = preferred_pool_context()
         board = None
         if pool_context.get_start_method() == "fork":
@@ -600,23 +950,26 @@ class FlatExecutor:
             # simply run with dispatch-time limits only.
             try:
                 board = pool_context.RawArray(ctypes.c_int64, _BOARD_SLOTS)
-            except _POOL_CREATION_ERRORS:
+            except _POOL_CREATION_ERRORS as error:
+                journal.failure(
+                    kind="board-creation",
+                    action="continue",
+                    error=format_error(error),
+                )
                 board = None
         try:
             pool = pool_context.Pool(
                 processes=processes,
                 initializer=_init_worker,
-                initargs=(socs, tuple(sorted(pairs)), board),
+                initargs=(socs, tuple(sorted(pairs)), board, self._fault_plan),
             )
         except _POOL_CREATION_ERRORS as error:
-            warnings.warn(
-                f"{reason}: no worker pool could be created "
-                f"({type(error).__name__}: {error}); degrading to the serial "
-                "path (results are identical, wall time is not)",
-                RuntimeWarning,
-                stacklevel=3,
+            journal.failure(
+                kind="pool-creation", action="serial", error=format_error(error)
             )
+            _warn_pool_degrade(reason, format_error(error))
             return None
+        journal.pools_created += 1
         self._pool = pool
         self._board = board
         self._socs = dict(socs)
@@ -674,14 +1027,119 @@ class FlatExecutor:
         )
 
     # -- dispatch -------------------------------------------------------
-    def _dispatch(
+    def _supervise(
+        self,
+        plans: Sequence[_Plan],
+        socs: Dict[str, Soc],
+        pairs: Set[Tuple[str, int]],
+        processes: int,
+        chunksize: int,
+        session: Any,
+        journal: _Journal,
+        reason: str,
+    ) -> None:
+        """Drive every plan to settlement, descending the recovery ladder.
+
+        Work proceeds in *rounds*: each round dispatches every pending
+        (unacknowledged, unquarantined, unskippable) task through the
+        pool.  A clean round that leaves retryable failures is followed by
+        another round (bounded per-task attempts, deterministic backoff);
+        a stalled or broken pool is torn down, tasks implicated in
+        ``_QUARANTINE_STRIKES`` pool deaths are quarantined to an
+        in-process run, and the pool is resurrected for the survivors.
+        When no pool can be created the remaining tasks drain on the
+        serial path.  Every step is journalled; clean runs journal
+        nothing, which is what keeps their results and metadata
+        bit-identical to the serial reference.
+        """
+        attempts: Dict[_TaskKey, int] = {}
+        suspect_strikes: Dict[_TaskKey, int] = {}
+        quarantined: Set[_TaskKey] = set()
+        resurrect_reason: Optional[str] = None
+        while not all(plan.settled for plan in plans):
+            pool = self._ensure_pool(socs, pairs, processes, reason, journal)
+            if pool is None:
+                event = journal.event(STAGE_SERIAL, reason="pool-creation")
+                if journal.pools_created:
+                    # Mid-run downgrade: jobs that still had pending work
+                    # record it.  An *entry* downgrade (no pool ever
+                    # existed) stays out of job metadata so results match
+                    # the serial reference exactly, as they always did.
+                    for plan in plans:
+                        if not plan.settled:
+                            plan.events.append(event)
+                self._drain_serial(plans, socs, session)
+                return
+            if resurrect_reason is not None:
+                journal.resurrections += 1
+                event = journal.event(STAGE_RESURRECTED, reason=resurrect_reason)
+                for plan in plans:
+                    if not plan.settled:
+                        plan.events.append(event)
+                resurrect_reason = None
+            try:
+                failure, retry_delay = self._stream_round(
+                    pool, plans, processes, chunksize, attempts, quarantined, journal
+                )
+            except (KeyboardInterrupt, SystemExit) as error:
+                journal.failure(
+                    kind="fatal", action="raise", error=format_error(error)
+                )
+                self.close()  # drop abandoned in-flight tasks with the pool
+                raise
+            except Exception:
+                # Already journalled at the failure site; the pool goes
+                # with the abandoned in-flight tasks.
+                self.close()
+                raise
+            if failure is None:
+                if retry_delay > 0:
+                    time.sleep(retry_delay)
+                continue  # settled plans end the loop; retries re-dispatch
+            # The pool is stalled or broken: record, tear it down, add a
+            # strike against every unacknowledged task, quarantine repeat
+            # offenders in-process, then resurrect for the survivors.
+            journal.failure(
+                kind=failure.kind, action="resurrect", error=failure.error
+            )
+            self.close()
+            ordered_suspects = sorted(failure.suspects)
+            for key in ordered_suspects:
+                suspect_strikes[key] = suspect_strikes.get(key, 0) + 1
+            for key in ordered_suspects:
+                if suspect_strikes[key] < _QUARANTINE_STRIKES or key in quarantined:
+                    continue
+                task = failure.suspects[key]
+                fingerprint = task_fingerprint(task)
+                quarantined.add(key)
+                journal.quarantined += 1
+                journal.failure(
+                    kind=failure.kind,
+                    action="quarantine",
+                    error=failure.error,
+                    task=fingerprint,
+                    attempt=attempts.get(key, 0),
+                )
+                event = journal.event(
+                    STAGE_QUARANTINED, reason=failure.reason, task=fingerprint
+                )
+                plans[key[0]].events.append(event)
+                # In-process, injection-free, bounded by the current
+                # incumbent: the ladder always terminates here.
+                self._run_task_in_process(plans, socs, session, task)
+            resurrect_reason = failure.reason
+
+    def _stream_round(
         self,
         pool: Any,
         plans: Sequence[_Plan],
         processes: int,
         chunksize: int,
-    ) -> None:
-        """Stream every plan's tasks through the pool, unordered.
+        attempts: Dict[_TaskKey, int],
+        quarantined: Set[_TaskKey],
+        journal: _Journal,
+    ) -> Tuple[Optional[_RoundFailure], float]:
+        """One dispatch round: stream pending tasks, absorb replies.
 
         A sliding backpressure window (a plain semaphore between the
         result loop and the task generator, which runs in the pool's
@@ -691,52 +1149,63 @@ class FlatExecutor:
         pools the shared incumbent board supplements this: tasks read
         their plan's freshest incumbent when they *start*, so pruning
         stays tight even for tasks dispatched early in large chunks.
-        """
-        if not any(isinstance(plan, _GridPlan) for plan in plans):
-            # Pure whole-job dispatch: no incumbents to feed, so skip the
-            # backpressure machinery and hand the task list over in bulk.
-            tasks = [
-                _JobTask(job_index=i, job=plan.job, constraints=plan.constraints)
-                for i, plan in enumerate(plans)
-            ]
-            try:
-                for job_index, run_index, payload, wall in pool.imap_unordered(
-                    _execute_task, tasks, chunksize=chunksize
-                ):
-                    plans[job_index].absorb(run_index, payload, wall)
-            except BaseException:
-                self.close()  # drop abandoned in-flight tasks with the pool
-                raise
-            return
 
+        Returns ``(None, retry_delay)`` when the round ran to completion
+        (``retry_delay > 0`` means retryable task failures were journalled
+        and their tasks left unacknowledged for the next round), or a
+        :class:`_RoundFailure` capturing a stalled/broken pool with the
+        unacknowledged suspects.  Retry-exhausted task errors re-raise the
+        task's own exception.
+        """
         board = self._board
         slot = 0
         for plan in plans:
             if isinstance(plan, _GridPlan):
                 if board is not None and slot < _BOARD_SLOTS:
                     plan.slot = slot
-                    board[slot] = 0  # 0 = no incumbent yet
+                    # Re-seed across rounds: a resurrected pool's fresh
+                    # board starts from the incumbents already absorbed.
+                    board[slot] = plan.best[0] if plan.best is not None else 0
                     slot += 1
                 else:
                     plan.slot = -1
         window = max(processes * self._window_factor * chunksize, 2 * chunksize)
         permits = threading.Semaphore(window)
         abort = threading.Event()
+        lock = threading.Lock()
+        inflight: Dict[_TaskKey, _Task] = {}
 
-        def stream() -> Iterator[Union[_JobTask, _GridTask]]:
+        def stamp(task: _Task) -> _Task:
+            key = _task_key(task)
+            with lock:
+                attempt = attempts.get(key, 0) + 1
+                attempts[key] = attempt
+                stamped = replace(task, attempt=attempt)
+                inflight[key] = stamped
+            return stamped
+
+        def stream() -> Iterator[_Task]:
             for job_index, plan in enumerate(plans):
                 if isinstance(plan, _JobPlan):
+                    if plan.result is not None or (job_index, -1) in quarantined:
+                        continue
                     permits.acquire()
                     if abort.is_set():
                         return
-                    yield _JobTask(
-                        job_index=job_index,
-                        job=plan.job,
-                        constraints=plan.constraints,
+                    yield stamp(
+                        _JobTask(
+                            job_index=job_index,
+                            job=plan.job,
+                            constraints=plan.constraints,
+                        )
                     )
                     continue
                 for run in plan.runs:
-                    if plan.skippable(run):
+                    if (
+                        run.index in plan.acked
+                        or (job_index, run.index) in quarantined
+                        or plan.skippable(run)
+                    ):
                         continue
                     permits.acquire()
                     if abort.is_set():
@@ -744,30 +1213,180 @@ class FlatExecutor:
                     if plan.skippable(run):  # re-check after blocking
                         permits.release()
                         continue
-                    yield plan.make_task(job_index, run)
+                    yield stamp(plan.make_task(job_index, run))
 
+        def chunked() -> Iterator[Tuple[_Task, ...]]:
+            batch: List[_Task] = []
+            for task in stream():
+                batch.append(task)
+                if len(batch) >= chunksize:
+                    yield tuple(batch)
+                    batch = []
+            if batch:
+                yield tuple(batch)
+
+        retry_delay = 0.0
+        iterator = pool.imap_unordered(_execute_chunk, chunked(), chunksize=1)
         try:
-            for job_index, run_index, payload, wall in pool.imap_unordered(
-                _execute_task, stream(), chunksize=chunksize
-            ):
-                permits.release()
-                plan = plans[job_index]
-                plan.absorb(run_index, payload, wall)
-                if (
-                    isinstance(plan, _GridPlan)
-                    and plan.slot >= 0
-                    and plan.best is not None
-                ):
-                    board[plan.slot] = plan.best[0]
-        except BaseException:
+            while True:
+                try:
+                    if self._task_deadline is not None:
+                        replies = iterator.next(timeout=self._task_deadline)
+                    else:
+                        replies = next(iterator)
+                except StopIteration:
+                    return None, retry_delay
+                except multiprocessing.TimeoutError:
+                    with lock:
+                        suspects = dict(inflight)
+                    return (
+                        _RoundFailure(
+                            kind="pool-stall",
+                            reason="stalled",
+                            error=(
+                                f"no task reply within {self._task_deadline:.6g}s; "
+                                f"{len(suspects)} task(s) unacknowledged"
+                            ),
+                            suspects=suspects,
+                        ),
+                        0.0,
+                    )
+                except _POOL_DEATH_ERRORS as error:
+                    with lock:
+                        suspects = dict(inflight)
+                    return (
+                        _RoundFailure(
+                            kind="pool-death",
+                            reason="pool-death",
+                            error=format_error(error),
+                            suspects=suspects,
+                        ),
+                        0.0,
+                    )
+                for reply in replies:
+                    job_index, run_index, payload, wall = reply
+                    permits.release()
+                    key = (job_index, run_index if run_index is not None else -1)
+                    with lock:
+                        inflight.pop(key, None)
+                    plan = plans[job_index]
+                    if isinstance(payload, _TaskFailure):
+                        if payload.attempt <= self._max_task_retries:
+                            # Leave the task unacknowledged: the next round
+                            # re-dispatches it with a bumped attempt number.
+                            journal.retries += 1
+                            journal.failure(
+                                kind="task-error",
+                                action="retry",
+                                error=payload.error,
+                                task=payload.fingerprint,
+                                attempt=payload.attempt,
+                            )
+                            event = journal.event(
+                                STAGE_PARALLEL,
+                                reason="retried",
+                                task=payload.fingerprint,
+                            )
+                            plan.events.append(event)
+                            retry_delay = max(
+                                retry_delay,
+                                backoff_delay(
+                                    payload.fingerprint,
+                                    payload.attempt,
+                                    self._retry_backoff,
+                                ),
+                            )
+                            continue
+                        journal.failure(
+                            kind="task-error",
+                            action="raise",
+                            error=payload.error,
+                            task=payload.fingerprint,
+                            attempt=payload.attempt,
+                        )
+                        if payload.exception is not None:
+                            raise payload.exception
+                        raise EngineError(
+                            f"task {payload.fingerprint} failed after "
+                            f"{payload.attempt} attempt(s): {payload.error}"
+                        )
+                    plan.absorb(run_index, payload, wall)
+                    if (
+                        isinstance(plan, _GridPlan)
+                        and plan.slot >= 0
+                        and plan.best is not None
+                        and board is not None
+                    ):
+                        board[plan.slot] = plan.best[0]
+        finally:
             # Unblock the feeder thread (it may be parked on the
-            # semaphore) and drop the pool: abandoned in-flight tasks
-            # would otherwise bleed into the next dispatch.
+            # semaphore) whatever way the round ended.
             abort.set()
-            for _ in range(window):
+            for _ in range(window + 1):
                 permits.release()
-            self.close()
-            raise
+
+    # -- in-process execution (quarantine and serial drain) -------------
+    def _run_task_in_process(
+        self,
+        plans: Sequence[_Plan],
+        socs: Dict[str, Soc],
+        session: Any,
+        task: _Task,
+    ) -> None:
+        """Execute one task in the supervising process and absorb it.
+
+        Used for quarantined tasks and the serial drain.  Injection-free
+        (the fault plan lives only in pool workers) and bounded by the
+        plan's *current* incumbent -- fresher than any dispatch-time
+        limit, and pruning is monotone, so the winner is unaffected.
+        """
+        started = time.perf_counter()
+        plan = plans[task.job_index]
+        if isinstance(task, _JobTask):
+            result = _solve_job(
+                task.job, socs[task.job.soc], task.constraints, suppress_fanout=True
+            )
+            plan.absorb(None, result, time.perf_counter() - started)
+            return
+        assert isinstance(plan, _GridPlan)
+        sets = session.rectangle_sets(plan.soc, plan.config.max_core_width)
+        schedule = _execute_run(
+            plan.soc,
+            plan.width,
+            plan.constraints or ConstraintSet.unconstrained(),
+            plan.config,
+            sets,
+            task.point,
+            task.vector,
+            plan.limit(),
+        )
+        payload = None if schedule is None else (schedule.makespan, schedule)
+        plan.absorb(task.run_index, payload, time.perf_counter() - started)
+
+    def _drain_serial(
+        self, plans: Sequence[_Plan], socs: Dict[str, Soc], session: Any
+    ) -> None:
+        """Run every pending task in-process, in deterministic plan order."""
+        for job_index, plan in enumerate(plans):
+            if isinstance(plan, _JobPlan):
+                if plan.result is None:
+                    self._run_task_in_process(
+                        plans,
+                        socs,
+                        session,
+                        _JobTask(
+                            job_index=job_index,
+                            job=plan.job,
+                            constraints=plan.constraints,
+                        ),
+                    )
+                continue
+            for run in plan.runs:
+                if run.index in plan.acked or plan.skippable(run):
+                    continue
+                self._run_task_in_process(
+                    plans, socs, session, plan.make_task(job_index, run)
+                )
 
     # -- entry points ---------------------------------------------------
     def run_jobs(
@@ -818,25 +1437,43 @@ class FlatExecutor:
         processes = min(int(workers), total_tasks)
         if processes <= 1:
             return self._run_serial(ordered, context, pairs)
-        pool = self._ensure_pool(
-            dict(context.socs), pairs, processes, "flat executor"
-        )
-        if pool is None:
-            return self._run_serial(ordered, context, pairs, degraded=True)
         if chunksize is None:
             # Grid-run tasks are small (often sub-millisecond on compact
             # SOCs), so chunk them to amortise IPC -- the shared incumbent
             # board keeps pruning tight despite the coarser dispatch --
             # but cap the chunk so heterogeneous tails still spread.
             chunksize = min(8, max(1, total_tasks // (processes * 4)))
-        self._dispatch(pool, plans, processes, max(1, int(chunksize)))
+        if self._fault_plan is not None:
+            # Chaos runs pin chunksize to 1: a lost chunk implicates only
+            # the task that actually broke the pool, keeping quarantine
+            # attribution (and the tests asserting it) exact.
+            chunksize = 1
+        journal = _Journal()
+        try:
+            self._supervise(
+                plans,
+                dict(context.socs),
+                pairs,
+                processes,
+                max(1, int(chunksize)),
+                session,
+                journal,
+                "flat executor",
+            )
+        finally:
+            self._last_failures = tuple(journal.failures)
+            self._last_events = tuple(journal.events)
         results = tuple(plan.finish(session) for plan in plans)
         stats = ExecutorStats(
             jobs=len(ordered),
             decomposed_jobs=decomposed,
             tasks=total_tasks,
-            workers=processes,
-            degraded_to_serial=False,
+            workers=processes if journal.pools_created else 0,
+            retries=journal.retries,
+            resurrections=journal.resurrections,
+            quarantined=journal.quarantined,
+            recovery_events=tuple(journal.events),
+            failures=tuple(journal.failures),
         )
         return SweepResults(results, stats=stats)
 
@@ -851,24 +1488,28 @@ class FlatExecutor:
         bound: int,
         workers: int,
         rectangle_sets: Dict[str, Any],
-    ) -> Optional[Tuple[int, int, GridPoint, TestSchedule]]:
+    ) -> Tuple[
+        Optional[Tuple[int, int, GridPoint, TestSchedule]],
+        Tuple[RecoveryEvent, ...],
+        Tuple[FailureRecord, ...],
+    ]:
         """Fan one best-over-grid sweep out over the shared flat queue.
 
         The direct entry point for :func:`repro.core.grid_sweep.run_grid_sweep`
         (a ``Session.solve`` of the ``best`` solver with ``workers > 1``),
         so standalone best solves and engine sweeps share one pool.  ``runs``
         must already be deduplicated and estimate-ordered.  Returns the
-        winning ``(makespan, run index, point, schedule)``, or ``None``
-        when no pool is available (the caller falls back to its serial
-        loop; the degrade warning has already been emitted).
+        winning ``(makespan, run index, point, schedule)`` plus the run's
+        recovery ladder and fault journal.  The winner is ``None`` only
+        when the executor declines to parallelise (too few runs per
+        worker); pool failures are recovered *internally* -- resurrection,
+        quarantine or serial drain -- and still produce the winner, with
+        the path taken reported through the events.
         """
         processes = min(int(workers), len(runs))
         if processes <= 1:
-            return None
+            return None, (), ()
         pairs = {(soc.name, config.max_core_width)}
-        pool = self._ensure_pool({soc.name: soc}, pairs, processes, "grid sweep")
-        if pool is None:
-            return None
         plan = _GridPlan(
             job=None,
             soc=soc,
@@ -881,8 +1522,29 @@ class FlatExecutor:
             bound=bound,
         )
         chunksize = min(8, max(1, len(runs) // (processes * 4)))
-        self._dispatch(pool, [plan], processes, chunksize)
-        return plan.winner(rectangle_sets)
+        if self._fault_plan is not None:
+            chunksize = 1  # exact quarantine attribution under chaos
+        journal = _Journal()
+        session = get_default_session()
+        try:
+            self._supervise(
+                [plan],
+                {soc.name: soc},
+                pairs,
+                processes,
+                chunksize,
+                session,
+                journal,
+                "grid sweep",
+            )
+        finally:
+            self._last_failures = tuple(journal.failures)
+            self._last_events = tuple(journal.events)
+        return (
+            plan.winner(rectangle_sets),
+            tuple(journal.events),
+            tuple(journal.failures),
+        )
 
     # -- serial path ----------------------------------------------------
     def _run_serial(
@@ -890,8 +1552,8 @@ class FlatExecutor:
         jobs: Sequence[ScheduleJob],
         context: EngineContext,
         pairs: Set[Tuple[str, int]],
-        degraded: bool = False,
     ) -> SweepResults:
+        """The requested-serial path (``workers <= 1``): no pool, no journal."""
         prime_context_caches(context, pairs)
         results = tuple(execute_job(job, context) for job in jobs)
         stats = ExecutorStats(
@@ -899,7 +1561,6 @@ class FlatExecutor:
             decomposed_jobs=0,
             tasks=len(jobs),
             workers=0,
-            degraded_to_serial=degraded,
         )
         return SweepResults(results, stats=stats)
 
@@ -928,3 +1589,24 @@ def close_default_executor() -> None:
     """Tear down the process-wide executor's pool (idempotent)."""
     if _DEFAULT_EXECUTOR is not None:
         _DEFAULT_EXECUTOR.close()
+
+
+@contextlib.contextmanager
+def use_executor(executor: FlatExecutor) -> Iterator[FlatExecutor]:
+    """Temporarily install ``executor`` as the process-wide default.
+
+    The previous default (if any) keeps its pool and is restored on exit;
+    the installed executor's pool is closed.  This is how the chaos
+    harness (``repro chaos``, :mod:`repro.engine.faults`) routes a whole
+    solve -- grid fan-out included -- through an executor armed with a
+    :class:`~repro.engine.faults.FaultPlan` and a tight task deadline
+    without disturbing the session's warm default pool.
+    """
+    global _DEFAULT_EXECUTOR
+    previous = _DEFAULT_EXECUTOR
+    _DEFAULT_EXECUTOR = executor
+    try:
+        yield executor
+    finally:
+        _DEFAULT_EXECUTOR = previous
+        executor.close()

@@ -16,6 +16,12 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.faults import (
+    STAGE_SERIAL,
+    FailureRecord,
+    RecoveryEvent,
+    ladder_stage,
+)
 from repro.engine.jobs import EngineError, JobResult
 
 # Columns every record has, in export order; tag columns follow.
@@ -44,16 +50,37 @@ class ExecutorStats:
     ``tasks`` counts the flat scheduler-run tasks the executor dispatched
     (a decomposed ``best`` job contributes one task per deduplicated grid
     run, so ``tasks > jobs`` whenever decomposition happened).
-    ``degraded_to_serial`` is ``True`` when a worker pool was requested
-    but could not be created and the run fell back to the serial path --
-    the same condition also emits a :class:`RuntimeWarning`.
+
+    Fault tolerance is reported through the *recovery ladder*:
+    ``recovery_events`` lists every downward step the run took
+    (``parallel -> resurrected -> quarantined -> serial``) and
+    ``failures`` is the structured fault journal behind those steps.  A
+    clean run has neither.  ``retries``/``resurrections``/``quarantined``
+    are the matching counters, and :attr:`degraded_to_serial` is kept as
+    a derived compatibility property (``True`` whenever any work ran on
+    the serial rung -- the same condition that emits a
+    :class:`RuntimeWarning` on pool-creation failure).
     """
 
     jobs: int = 0
     decomposed_jobs: int = 0
     tasks: int = 0
     workers: int = 0
-    degraded_to_serial: bool = False
+    retries: int = 0
+    resurrections: int = 0
+    quarantined: int = 0
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+    failures: Tuple[FailureRecord, ...] = ()
+
+    @property
+    def degraded_to_serial(self) -> bool:
+        """Derived compatibility flag: did any work run on the serial rung?"""
+        return any(event.stage == STAGE_SERIAL for event in self.recovery_events)
+
+    @property
+    def recovery_stage(self) -> str:
+        """The deepest recovery-ladder stage reached (``parallel`` if clean)."""
+        return ladder_stage(self.recovery_events)
 
 
 @dataclass(frozen=True)
@@ -78,6 +105,11 @@ class SweepResults:
     def degraded_to_serial(self) -> bool:
         """True when a requested worker pool degraded to the serial path."""
         return self.stats is not None and self.stats.degraded_to_serial
+
+    @property
+    def recovery_events(self) -> Tuple[RecoveryEvent, ...]:
+        """The run's recovery ladder (empty for a clean or stat-less run)."""
+        return self.stats.recovery_events if self.stats is not None else ()
 
     # ------------------------------------------------------------------
     # Container protocol

@@ -20,11 +20,18 @@ shared rectangle cache stays warm across every job a worker executes and
 any registered schedule-producing solver can be swept by naming it in
 :attr:`~repro.engine.jobs.ScheduleJob.solver`.
 
-If a pool cannot be created at all -- sandboxes without working semaphores,
-platforms without ``fork``/``spawn`` -- the engine degrades to the serial
-path *observably*: a :class:`RuntimeWarning` is emitted and the returned
-:class:`~repro.engine.results.SweepResults` report
-``degraded_to_serial=True``.
+Faults are handled through an ordered *recovery ladder*
+(``parallel -> resurrected -> quarantined -> serial``): failing tasks are
+retried with deterministic backoff, a dead pool is resurrected and only the
+unacknowledged tasks re-dispatched, a task that keeps killing its pool is
+quarantined to an in-process run, and if no pool can be created at all --
+sandboxes without working semaphores, platforms without ``fork``/``spawn``
+-- the engine degrades to the serial path *observably*: a
+:class:`RuntimeWarning` is emitted and the returned
+:class:`~repro.engine.results.SweepResults` carry a ``serial`` entry in
+``recovery_events`` (hence ``degraded_to_serial=True``).  See
+:mod:`repro.engine.faults` for the vocabulary and the deterministic
+fault-injection harness.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""The built-in lint rules (REP001-REP010).
+"""The built-in lint rules (REP001-REP011).
 
 Importing this package registers every rule into the process-wide
 :func:`~repro.staticcheck.engine.default_rule_registry` -- the exact
@@ -29,6 +29,10 @@ REP009     Swallowed failures on the parallel path: broad/bare
 REP010     Hot-path complexity: O(n^2) idioms (list membership /
            concatenation / ``.index()`` in loops, ``sorted()`` in the
            event loop) in ``core/``/``wrapper/``.
+REP011     Unjournalled recovery: handlers catching pool/timeout/
+           broken-pipe/fault exceptions in ``engine/`` must record a
+           ``FailureRecord`` (``failure``/``journal``/``record`` call)
+           or re-raise, so the recovery ladder sees every fault.
 =========  ==============================================================
 
 REP007--REP010 are *project* rules built on the interprocedural layer in
@@ -47,4 +51,5 @@ from repro.staticcheck.rules import (  # noqa: F401  (imported for registration)
     rep008_workercache,
     rep009_swallowed,
     rep010_hotpath,
+    rep011_recovery,
 )

@@ -15,7 +15,9 @@ A handler is reported when all of the following hold:
 * its body contains no ``raise``;
 * its body neither assigns to a name/attribute containing ``degraded``
   nor calls anything whose name contains ``warn``/``log``/``error``/
-  ``exception`` (the sanctioned ways of recording the failure).
+  ``exception``/``failure`` (the sanctioned ways of recording the
+  failure -- ``failure`` covers the fault journal's
+  ``journal.failure(...)``/``FailureRecord`` vocabulary from PR 8).
 
 When the enclosing function is reachable from a worker entry point the
 finding carries the witness call chain -- a swallowed failure *on the
@@ -46,7 +48,7 @@ BROAD_EXCEPTIONS = ("Exception", "BaseException")
 DEGRADED_MARKERS = ("degraded",)
 
 #: Substrings of call names that record the failure out-of-band.
-REPORTING_CALLS = ("warn", "log", "error", "exception", "print")
+REPORTING_CALLS = ("warn", "log", "error", "exception", "print", "failure")
 
 
 def _is_broad(handler: ast.ExceptHandler) -> bool:

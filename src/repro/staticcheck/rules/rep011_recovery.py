@@ -1,0 +1,158 @@
+"""REP011: recovery handlers must journal or re-raise.
+
+The fault-tolerant executor (PR 8) has a stronger contract than REP009's
+"don't swallow": every handler on its *recovery path* -- anything that
+catches a pool/timeout/broken-pipe/injected-fault class of exception in
+``engine/`` -- must feed the structured fault journal (a
+:class:`~repro.engine.faults.FailureRecord` via ``journal.failure(...)``,
+a ``_TaskFailure``/``_RoundFailure`` reply, ...) or re-raise.  A recovery
+handler that merely warns or logs free text passes REP009 but starves the
+recovery ladder: the run finishes with an empty ``recovery_events`` trail
+even though faults were handled, and the chaos harness can no longer
+prove *how* a run recovered.
+
+A handler is reported when all of the following hold:
+
+* it catches a *recovery-class* exception -- the caught type's trailing
+  name (any element, for tuples; every name, for bare grouping aliases
+  like ``_POOL_DEATH_ERRORS``) contains one of ``pool``/``timeout``/
+  ``broken``/``pipe``/``injected``/``fault`` (case-insensitive);
+* its body contains no ``raise``;
+* its body calls nothing whose name contains ``failure``/``journal``/
+  ``record`` (the fault-journal vocabulary).
+
+When the enclosing function is reachable from a worker entry point the
+finding carries the witness call chain, exactly as REP009 does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.staticcheck.analysis import ProjectAnalysis
+
+from repro.staticcheck.engine import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    ProjectContext,
+    register_rule,
+)
+from repro.staticcheck.rules._astutil import call_name
+
+#: Substrings (lowercased) of caught-type names that mark a recovery handler.
+RECOVERY_EXCEPTION_MARKERS = (
+    "pool",
+    "timeout",
+    "broken",
+    "pipe",
+    "injected",
+    "fault",
+)
+
+#: Substrings of call names that feed the structured fault journal.
+JOURNAL_CALLS = ("failure", "journal", "record")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """Trailing identifiers of every exception type the handler names."""
+    if handler.type is None:
+        return ()
+    candidates: Tuple[ast.expr, ...] = (handler.type,)
+    if isinstance(handler.type, ast.Tuple):
+        candidates = tuple(handler.type.elts)
+    names = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name):
+            names.append(candidate.id)
+        elif isinstance(candidate, ast.Attribute):
+            names.append(candidate.attr)
+    return tuple(names)
+
+
+def _is_recovery_handler(handler: ast.ExceptHandler) -> bool:
+    """True when any caught type name carries a recovery marker."""
+    for name in _caught_names(handler):
+        lowered = name.lower()
+        if any(marker in lowered for marker in RECOVERY_EXCEPTION_MARKERS):
+            return True
+    return False
+
+
+def _handler_journals(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or feeds the fault journal."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            called = call_name(node.func).lower()
+            if any(marker in called for marker in JOURNAL_CALLS):
+                return True
+    return False
+
+
+@register_rule
+class UnjournalledRecoveryRule(LintRule):
+    """Recovery-class except handlers that bypass the fault journal."""
+
+    code = "REP011"
+    name = "unjournalled-recovery"
+    description = (
+        "handlers catching pool/timeout/broken-pipe/fault exceptions in "
+        "engine/ must record a FailureRecord (journal/failure/record call) "
+        "or re-raise -- recovery the ladder cannot see breaks the chaos "
+        "harness's determinism proof"
+    )
+    scopes = ("engine/",)
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        analysis = context.analysis()
+        reachable = analysis.worker_reachable()
+        for module in context.modules:
+            if not self.applies_to(module.module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_recovery_handler(node):
+                    continue
+                if _handler_journals(node):
+                    continue
+                chain: Tuple[str, ...] = ()
+                ident = self._enclosing_function(analysis, module, node)
+                if ident is not None and ident in reachable:
+                    chain = reachable[ident]
+                caught = ", ".join(_caught_names(node))
+                yield Finding(
+                    path=module.display_path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    rule=self.code,
+                    severity=self.severity,
+                    message=(
+                        f"'except {caught}' handles a recovery-class "
+                        "exception without recording a FailureRecord or "
+                        "re-raising; call the fault journal "
+                        "(failure/journal/record) so the recovery ladder "
+                        "sees it"
+                    ),
+                    chain=chain,
+                )
+
+    @staticmethod
+    def _enclosing_function(
+        analysis: "ProjectAnalysis", module: ModuleContext, node: ast.ExceptHandler
+    ) -> Optional[str]:
+        """The innermost project function containing ``node``, if any."""
+        best: Optional[Tuple[int, str]] = None
+        for ident, symbol in analysis.table.functions.items():
+            if symbol.path != module.display_path:
+                continue
+            end = int(getattr(symbol.node, "end_lineno", symbol.lineno) or symbol.lineno)
+            if symbol.lineno <= node.lineno <= end:
+                candidate = (symbol.lineno, ident)
+                if best is None or candidate > best:
+                    best = candidate  # innermost = latest-starting enclosing def
+        return best[1] if best is not None else None

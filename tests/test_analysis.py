@@ -598,6 +598,62 @@ class TestRep009SwallowedFailure:
 
 
 # ----------------------------------------------------------------------
+# REP011: unjournalled recovery handlers
+# ----------------------------------------------------------------------
+class TestRep011UnjournalledRecovery:
+    BAD = (
+        "def watchdog(iterator):\n"
+        "    try:\n"
+        "        return next(iterator)\n"
+        "    except TimeoutError:\n"
+        "        return None\n"
+        "def _execute_task(work):\n"
+        "    try:\n"
+        "        return work()\n"
+        "    except BrokenPipeError:\n"
+        "        return None\n"
+        "def run(pool, items):\n"
+        "    return list(pool.imap_unordered(_execute_task, items))\n"
+    )
+    GOOD = (
+        "def journalled(iterator, journal):\n"
+        "    try:\n"
+        "        return next(iterator)\n"
+        "    except TimeoutError:\n"
+        "        journal.failure(kind='pool-stall', action='resurrect')\n"
+        "        return None\n"
+        "def reraised(work):\n"
+        "    try:\n"
+        "        return work()\n"
+        "    except BrokenPipeError:\n"
+        "        raise\n"
+        "def recorded(work, failures):\n"
+        "    try:\n"
+        "        return work()\n"
+        "    except InjectedFault as error:\n"
+        "        failures.record(error)\n"
+        "        return None\n"
+        "def unrelated(work):\n"
+        "    try:\n"
+        "        return work()\n"
+        "    except ValueError:\n"
+        "        return None\n"
+    )
+
+    def test_bad_fixture(self, tmp_path):
+        report = lint_fixture(tmp_path, self.BAD, ["REP011"])
+        assert codes_and_lines(report) == [("REP011", 4), ("REP011", 9)]
+        by_line = {f.line: f for f in report.findings}
+        assert by_line[4].chain == ()  # not on the parallel path
+        assert by_line[9].chain == ("fixture._execute_task",)
+        assert "FailureRecord" in by_line[9].message
+
+    def test_good_fixture(self, tmp_path):
+        report = lint_fixture(tmp_path, self.GOOD, ["REP011"])
+        assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
 # REP010: hot-path complexity
 # ----------------------------------------------------------------------
 class TestRep010HotPath:
@@ -673,10 +729,10 @@ class TestRep010HotPath:
 # Shipped tree + CLI-facing integration
 # ----------------------------------------------------------------------
 class TestShippedTreeInterprocedural:
-    def test_shipped_tree_is_rep007_to_rep010_clean(self):
+    def test_shipped_tree_is_rep007_to_rep011_clean(self):
         report = run_lint(
             [REPO_ROOT / "src" / "repro"],
-            select=["REP007", "REP008", "REP009", "REP010"],
+            select=["REP007", "REP008", "REP009", "REP010", "REP011"],
             source_roots=[REPO_ROOT / "src", REPO_ROOT],
         )
         assert report.findings == ()
@@ -687,8 +743,13 @@ class TestShippedTreeInterprocedural:
             [REPO_ROOT / "src"],
             display_root=REPO_ROOT,
         )
-        assert "repro.engine.executor._execute_task" in analysis.call_graph.entry_points
+        assert "repro.engine.executor._execute_chunk" in analysis.call_graph.entry_points
         assert "repro.engine.executor._init_worker" in analysis.call_graph.entry_points
+        # _execute_task is no longer dispatched directly (the parent chunks
+        # tasks itself to keep the watchdog's timeout API) but must stay
+        # worker-reachable through _execute_chunk.
+        reachable = analysis.worker_reachable()
+        assert "repro.engine.executor._execute_task" in reachable
 
     def test_shipped_board_write_is_fork_local_sanctioned(self):
         analysis = analyze_paths(

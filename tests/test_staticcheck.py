@@ -43,7 +43,7 @@ def codes_and_lines(report):
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         registry = default_rule_registry()
         assert registry.codes() == [
             "REP001",
@@ -56,6 +56,7 @@ class TestRegistry:
             "REP008",
             "REP009",
             "REP010",
+            "REP011",
         ]
 
     def test_unknown_rule_raises(self):
@@ -468,7 +469,7 @@ class TestCli:
     def test_list_rules(self):
         proc = self.run_cli("lint", "--list-rules")
         assert proc.returncode == 0
-        for code in ("REP001", "REP006", "REP007", "REP010"):
+        for code in ("REP001", "REP006", "REP007", "REP010", "REP011"):
             assert code in proc.stdout
 
     def test_lint_github_output_format(self, tmp_path):
@@ -500,7 +501,7 @@ class TestCli:
         graph_payload = call_graph_from_json(cg.read_text())
         assert graph_payload["version"] == 1
         assert any(
-            entry.endswith("_execute_task") for entry in graph_payload["entry_points"]
+            entry.endswith("_execute_chunk") for entry in graph_payload["entry_points"]
         )
         effects_payload = effects_from_json(ef.read_text())
         assert effects_payload["version"] == 1
