@@ -36,6 +36,18 @@ Suites
     ``best`` solver per width), each measured cold at ``workers=0`` and
     ``workers=4`` with the results asserted identical across worker
     counts and recorded for the golden check.
+``scale``
+    The committed scaling curve of the zero-copy payload plane: one
+    trimmed ``best`` sweep per SOC -- the ITC'02 pair {d695, p93791} plus
+    the deterministic synthetic 100- and 1000-core generator SOCs
+    (``s100``/``s1000``) -- measured cold at ``workers=0`` (the serial
+    reference) and at every count in ``--workers``.  Each parallel run's
+    schedule fingerprint is asserted identical to the serial reference
+    and the report records speedup, per-task serialized dispatch bytes
+    before/after the shared-memory plane, shared-memory task share and
+    mid-run board-abort counts.  ``cpus`` pins the host's core count so a
+    1-CPU runner's (necessarily flat) speedups are never mistaken for a
+    multi-core measurement.
 
 The standalone entry point ``benchmarks/harness.py`` and the ``repro bench``
 CLI subcommand are thin wrappers over :func:`run_suite`.
@@ -45,6 +57,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import sys
 import time
@@ -66,7 +79,7 @@ from repro.soc.benchmarks import get_benchmark
 from repro.solvers import ScheduleRequest, Session
 from repro.wrapper.curve import clear_curve_cache, curve_cache_info, wrapper_curve
 
-SUITES = ("curves", "solve", "sweep")
+SUITES = ("curves", "solve", "sweep", "scale")
 
 #: SOCs and TAM widths of the ``solve`` suite's cold full pass (the full
 #: registered ITC'02 set since PR 4).
@@ -541,16 +554,159 @@ def run_sweep_suite(
     }
 
 
+#: Worker counts the scale suite sweeps by default (``0`` -- the serial
+#: reference -- is always measured in addition).
+SCALE_WORKERS: Tuple[int, ...] = (1, 2, 4)
+
+#: SOCs of the scale suite: the ITC'02 pair the paper evaluates plus two
+#: deterministic synthetic generator SOCs sized to stress the payload
+#: plane (a 1000-core SOC pickles an ~8 KB preferred-width vector per
+#: fat task, so the slim/fat byte ratio is the headline there).
+SCALE_SOCS: Tuple[str, ...] = ("d695", "p93791", "s100", "s1000")
+
+#: Synthetic scale SOCs: ``name -> (generator seed, core count)``.  These
+#: are resolved here rather than registered as benchmarks -- the benchmark
+#: registry is the paper's evaluation set, not a grab-bag of fixtures.
+SCALE_SYNTHETIC: Dict[str, Tuple[int, int]] = {
+    "s100": (1002, 100),
+    "s1000": (1003, 1000),
+}
+
+#: Per-SOC TAM width of the scale measurement (default 64).
+SCALE_WIDTHS: Dict[str, int] = {"d695": 32}
+SCALE_DEFAULT_WIDTH = 64
+
+#: Trimmed grid so one scale cell stays CI-sized (8 runs per sweep); the
+#: same trim as the solve suite's ``best`` matrix cell.
+SCALE_OPTIONS: Dict[str, Any] = {
+    "percents": (1, 25),
+    "deltas": (0,),
+    "slacks": (3, 6),
+}
+
+
+def scale_soc(name: str):
+    """Resolve a scale-suite SOC: benchmark name or synthetic ``s<cores>``."""
+    spec = SCALE_SYNTHETIC.get(name)
+    if spec is None:
+        return get_benchmark(name)
+    seed, cores = spec
+    from repro.soc.generator import GeneratorProfile, generate_soc
+
+    return generate_soc(
+        seed, name=name, profile=GeneratorProfile(min_cores=cores, max_cores=cores)
+    )
+
+
+def run_scale_suite(
+    soc_names: Optional[Sequence[str]] = None,
+    workers: Sequence[int] = SCALE_WORKERS,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Worker-count scaling of the shm payload plane, byte-identity checked.
+
+    Every measured configuration is cold (empty caches, no pool); the
+    serial reference's makespan/fingerprint go into the golden sections
+    under ``{soc}/scale/{width}`` keys and every parallel configuration
+    must fingerprint identically.  Per-worker-count entries record wall
+    time, speedup over serial, and the payload-plane counters off
+    :class:`~repro.engine.results.ExecutorStats`: per-task serialized
+    bytes with the shm plane (``payload_bytes_per_task``) vs. without
+    (``pickled_bytes_per_task``), their ratio (``payload_shrink``), the
+    share of pool dispatches that travelled slim (``shm_task_share``) and
+    the mid-run ``board_aborts``.
+    """
+    from repro.engine.executor import get_default_executor
+    from repro.solvers.session import get_default_session
+
+    names = tuple(soc_names or SCALE_SOCS)
+    counts = tuple(int(count) for count in workers)
+    if any(count < 1 for count in counts):
+        raise ValueError("scale-suite worker counts must be >= 1")
+    phases: Dict[str, Dict[str, Any]] = {}
+    makespans: Dict[str, int] = {}
+    fingerprints: Dict[str, str] = {}
+    for soc_name in names:
+        soc = scale_soc(soc_name)
+        width = SCALE_WIDTHS.get(soc_name, SCALE_DEFAULT_WIDTH)
+
+        def solve(count: int):
+            return get_default_session().solve(
+                ScheduleRequest(
+                    soc=soc,
+                    total_width=width,
+                    solver="best",
+                    options={**SCALE_OPTIONS, "workers": count},
+                )
+            )
+
+        serial_seconds, serial = _timed_cold(lambda: solve(0), repeats)
+        key = f"{soc_name}/scale/{width}"
+        makespans[key] = serial.makespan
+        fingerprints[key] = schedule_fingerprint(serial.schedule)
+        reference_print = fingerprints[key]
+        phases[f"scale/{soc_name}/serial"] = {"seconds": serial_seconds}
+        for count in counts:
+            seconds, result = _timed_cold(lambda: solve(count), repeats)
+            if schedule_fingerprint(result.schedule) != reference_print:
+                raise AssertionError(
+                    f"scale suite: {soc_name} workers={count} changed the "
+                    "schedule vs the serial reference"
+                )
+            entry: Dict[str, Any] = {
+                "seconds": seconds,
+                "speedup": serial_seconds / seconds if seconds else 0.0,
+                "workers": count,
+            }
+            stats = get_default_executor().last_stats if count >= 2 else None
+            if stats is not None and stats.shm_tasks:
+                # payload_bytes counts slim dispatches; adding the saved
+                # bytes back reconstructs what the same dispatches would
+                # have pickled without the shm plane.
+                slim = stats.payload_bytes / stats.shm_tasks
+                pickled = (
+                    stats.payload_bytes + stats.shm_bytes_saved
+                ) / stats.shm_tasks
+                entry.update(
+                    {
+                        "board_aborts": stats.board_aborts,
+                        "payload_bytes": stats.payload_bytes,
+                        "shm_bytes_saved": stats.shm_bytes_saved,
+                        "payload_bytes_per_task": int(round(slim)),
+                        "pickled_bytes_per_task": int(round(pickled)),
+                        "payload_shrink": round(pickled / slim, 2) if slim else 0.0,
+                        "shm_task_share": round(stats.shm_tasks / stats.tasks, 3)
+                        if stats.tasks
+                        else 0.0,
+                    }
+                )
+            phases[f"scale/{soc_name}/w{count}"] = entry
+    return {
+        **_meta("scale"),
+        "socs": list(names),
+        "workers": list(counts),
+        "repeats": repeats,
+        "cpus": os.cpu_count(),
+        "grid": {name: list(value) for name, value in SCALE_OPTIONS.items()},
+        "phases": phases,
+        "cache": _cache_stats(),
+        "makespans": makespans,
+        "fingerprints": fingerprints,
+    }
+
+
 def run_suite(
     suite: str, soc_names: Optional[Sequence[str]] = None, **kwargs: Any
 ) -> Dict[str, Any]:
-    """Dispatch one named suite (``curves``, ``solve`` or ``sweep``)."""
+    """Dispatch one named suite (``curves``, ``solve``, ``sweep``, ``scale``)."""
     if suite == "curves":
         return run_curves_suite(soc_names or ("d695",), **kwargs)
     if suite == "solve":
         return run_solve_suite(soc_names or SOLVE_SOCS, **kwargs)
     if suite == "sweep":
         return run_sweep_suite(soc_names or ("d695",), **kwargs)
+    if suite == "scale":
+        return run_scale_suite(soc_names or SCALE_SOCS, **kwargs)
     raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
 
 
@@ -612,8 +768,10 @@ def summarize(report: Mapping[str, Any]) -> str:
             def render(key: str, entry: Any) -> str:
                 if not isinstance(entry, float):
                     return f"{key}={entry}"
-                if key == "speedup":
+                if key in ("speedup", "payload_shrink"):
                     return f"{key}={entry:.2f}x"
+                if key == "shm_task_share":
+                    return f"{key}={entry:.3f}"
                 return f"{key}={entry:.4f}s"
 
             rendered = ", ".join(render(key, entry) for key, entry in value.items())

@@ -28,9 +28,10 @@ Subcommands
     experiments, optionally across ``--workers`` processes and exported to
     CSV/JSON.
 ``bench``
-    Run one perf-trajectory suite (``curves``, ``solve`` or ``sweep``) and
-    emit a machine-readable ``BENCH_<suite>.json`` report: per-phase wall
-    times, cache statistics and schedule makespans for integrity.
+    Run one perf-trajectory suite (``curves``, ``solve``, ``sweep`` or
+    ``scale``) and emit a machine-readable ``BENCH_<suite>.json`` report:
+    per-phase wall times, cache statistics and schedule makespans for
+    integrity.
     ``--check-golden FILE`` fails (exit 1) when makespans or schedule
     fingerprints drift from the checked-in golden values.  Refuses to
     write the report while the wire format has unreviewed drift (REP005).
@@ -61,7 +62,7 @@ import io
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import figure1_staircase, run_table1, run_table2
 from repro.analysis.export import save_csv, sweep_to_csv, table1_to_csv, table2_to_csv
@@ -192,14 +193,38 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execution_metadata() -> Dict[str, Any]:
+    """Payload-plane counters of the default executor's most recent run.
+
+    Result *objects* never carry these (they would break serial/parallel
+    metadata bit-identity -- see ``GridSweepOutcome.metadata``), so the
+    CLI reads them off :class:`~repro.engine.results.ExecutorStats` after
+    the solve and reports them alongside, ``recovery_events``-style: only
+    the nonzero ones appear.
+    """
+    from repro.engine.executor import get_default_executor
+
+    stats = get_default_executor().last_stats
+    if stats is None:
+        return {}
+    counters = {
+        name: getattr(stats, name)
+        for name in ("board_aborts", "payload_bytes", "shm_bytes_saved")
+    }
+    return {name: value for name, value in counters.items() if value}
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     try:
         result = get_default_session().solve(_solve_request(args))
     except SolverError as error:  # includes solver refusals, normalised by Session
         print(f"error: {error}", file=sys.stderr)
         return 2
+    execution = _execution_metadata()
     if args.json:
-        print(result.to_json(indent=2))
+        payload = result.to_dict()
+        payload["metadata"].update(execution)
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"solver      : {result.solver}")
     print(f"soc         : {result.soc_name} (TAM width {result.total_width})")
@@ -208,7 +233,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         print(f"makespan    : {result.makespan} cycles")
     print(f"data volume : {result.data_volume} bits")
-    for name, value in sorted(result.metadata.items()):
+    for name, value in sorted({**dict(result.metadata), **execution}.items()):
         print(f"{name:<12}: {value}")
     return 0
 
@@ -337,6 +362,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.repeats is not None:
         kwargs["repeats"] = args.repeats
+    if getattr(args, "workers", None):
+        if args.suite != "scale":
+            print("error: --workers applies to --suite scale only", file=sys.stderr)
+            return 2
+        try:
+            kwargs["workers"] = tuple(
+                int(part) for part in str(args.workers).split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"error: bad --workers list {args.workers!r}", file=sys.stderr)
+            return 2
     report = perf.run_suite(args.suite, soc_names=args.soc or None, **kwargs)
     print(perf.summarize(report))
     json_path = args.json
@@ -773,10 +809,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("curves", "solve", "sweep"),
+        choices=("curves", "solve", "sweep", "scale"),
         default="curves",
         help="what to measure: per-core curve construction (default), the "
-        "cold full-solver pass, or the Figure 9 sweep",
+        "cold full-solver pass, the Figure 9 sweep, or the worker-count "
+        "scaling curve of the shared-memory payload plane",
+    )
+    p_bench.add_argument(
+        "--workers",
+        metavar="N[,N...]",
+        default=None,
+        help="comma-separated worker counts for --suite scale "
+        "(default 1,2,4; the serial reference is always measured)",
     )
     p_bench.add_argument(
         "--soc",

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # circular at runtime: repro.engine imports this module
     from repro.engine.faults import RecoveryEvent
@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # circular at runtime: repro.engine imports this module
 from repro.core.lower_bounds import lower_bound
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.core.scheduler import (
+    IncumbentAbort,
     MakespanLimitExceeded,
     SchedulerConfig,
     _Scheduler,
@@ -64,6 +65,18 @@ from repro.soc.soc import Soc
 DEFAULT_PERCENTS: Tuple[float, ...] = (1, 5, 10, 25, 40, 60, 75)
 DEFAULT_DELTAS: Tuple[int, ...] = (0, 2, 4)
 DEFAULT_SLACKS: Tuple[int, ...] = (0, 3, 6)
+
+#: Metadata keys that describe *how* a sweep executed (recovery ladder,
+#: payload plane, board aborts) rather than *what* it computed.  They vary
+#: with worker count, fault injection and scheduling races; byte-identity
+#: contracts compare metadata modulo this set.
+EXECUTION_METADATA_KEYS: Tuple[str, ...] = (
+    "recovery_events",
+    "degraded_to_serial",
+    "board_aborts",
+    "payload_bytes",
+    "shm_bytes_saved",
+)
 
 
 @dataclass(frozen=True)
@@ -113,6 +126,13 @@ class GridSweepOutcome:
     lower_bound: int
     early_exit: bool
     recovery_events: Tuple["RecoveryEvent", ...] = field(default=(), compare=False)
+    # Execution statistics of the parallel path (zero on the serial path).
+    # Like ``recovery_events`` these depend on scheduling races and the
+    # payload plane in use, so they are excluded from equality -- the
+    # schedule/makespan/winner fields above carry the bit-identity contract.
+    board_aborts: int = field(default=0, compare=False)
+    payload_bytes: int = field(default=0, compare=False)
+    shm_bytes_saved: int = field(default=0, compare=False)
 
     @property
     def degraded_to_serial(self) -> bool:
@@ -138,6 +158,15 @@ class GridSweepOutcome:
             )
         if self.degraded_to_serial:
             metadata["degraded_to_serial"] = True
+        # The payload-plane counters (board_aborts, payload_bytes,
+        # shm_bytes_saved) deliberately stay OUT of result metadata: a
+        # *serial* engine run whose jobs carry a ``workers`` option still
+        # fans its inner grids out through the pool, so counter-bearing
+        # metadata would differ from the pool-suppressed parallel path and
+        # break the serial/parallel bit-identity contract.  They travel on
+        # :class:`~repro.engine.results.ExecutorStats` (and these
+        # compare-excluded fields) instead; the CLI surfaces them from
+        # there.
         return metadata
 
 
@@ -248,13 +277,18 @@ def _execute_run(
     point: GridPoint,
     vector: Sequence[int],
     limit: Optional[int],
+    limit_probe: Optional[Callable[[], int]] = None,
+    probe_interval: int = 0,
 ) -> Optional[TestSchedule]:
     """One bounded scheduler run; ``None`` when the incumbent prunes it.
 
     Drives the scheduler directly (the sweep already resolved the
     rectangle sets and validated the constraints once for the whole grid,
     so the per-run front-door work of :func:`run_paper_scheduler` would be
-    pure overhead repeated dozens of times).
+    pure overhead repeated dozens of times).  ``limit_probe`` /
+    ``probe_interval`` arm the mid-run incumbent checkpoint; a resulting
+    :class:`IncumbentAbort` propagates (the executor counts those), while
+    a dispatch-time prune still returns ``None``.
     """
     try:
         return _Scheduler(
@@ -270,7 +304,11 @@ def _execute_run(
             rectangle_sets,
             preferred_widths=dict(zip(soc.core_names, vector)),
             makespan_limit=limit,
+            limit_probe=limit_probe,
+            probe_interval=probe_interval,
         ).run()
+    except IncumbentAbort:
+        raise
     except MakespanLimitExceeded:
         return None
 
@@ -315,12 +353,15 @@ def run_grid_sweep(
 
     best: Optional[Tuple[int, int, GridPoint, TestSchedule]] = None
     events: Tuple["RecoveryEvent", ...] = ()
+    board_aborts = 0
+    payload_bytes = 0
+    shm_bytes_saved = 0
 
     if min(int(workers), len(runs)) > 1:
         # Lazy import: repro.engine imports this module at load time.
         from repro.engine.executor import get_default_executor
 
-        flat, events, _failures = get_default_executor().run_grid_runs(
+        flat, events, _failures, exec_stats = get_default_executor().run_grid_runs(
             soc,
             total_width,
             constraints,
@@ -331,6 +372,10 @@ def run_grid_sweep(
             workers,
             rectangle_sets=sets,
         )
+        if exec_stats is not None:
+            board_aborts = exec_stats.board_aborts
+            payload_bytes = exec_stats.payload_bytes
+            shm_bytes_saved = exec_stats.shm_bytes_saved
         if flat is not None:
             best = flat
         # flat is None only when the executor declined to parallelise at
@@ -376,6 +421,9 @@ def run_grid_sweep(
         lower_bound=bound,
         early_exit=makespan <= bound,
         recovery_events=events,
+        board_aborts=board_aborts,
+        payload_bytes=payload_bytes,
+        shm_bytes_saved=shm_bytes_saved,
     )
 
 

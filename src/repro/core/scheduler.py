@@ -84,6 +84,20 @@ class MakespanLimitExceeded(SchedulerError):
     """
 
 
+class IncumbentAbort(MakespanLimitExceeded):
+    """Raised when a *mid-run* incumbent probe proves the run cannot win.
+
+    Identical pruning logic to :class:`MakespanLimitExceeded`, but the
+    limit that killed the run arrived *during* the event loop (re-read
+    from the executor's shared incumbent board via ``limit_probe``)
+    rather than at dispatch.  Kept distinct so the executor can count
+    board-driven aborts separately; because the board only ever holds
+    makespans that some run actually completed, and the comparison is
+    strict, an abort can only skip work that is strictly worse than the
+    final best -- results stay byte-identical to serial.
+    """
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Tunable parameters of ``TAM_schedule_optimizer``.
@@ -267,6 +281,8 @@ class _Scheduler:
         rectangle_sets: Optional[Dict[str, RectangleSet]] = None,
         preferred_widths: Optional[Mapping[str, int]] = None,
         makespan_limit: Optional[int] = None,
+        limit_probe: Optional[Callable[[], int]] = None,
+        probe_interval: int = 0,
     ) -> None:
         if total_width <= 0:
             raise SchedulerError("total TAM width must be positive")
@@ -276,6 +292,14 @@ class _Scheduler:
         self.config = config
         self.current_time = 0
         self.makespan_limit = makespan_limit
+        # Mid-run incumbent checkpoint: every `probe_interval` completion
+        # events, re-read the freshest incumbent (0 means "none yet") and
+        # tighten the limit.  The probe must be monotone -- it only ever
+        # returns makespans some run has actually completed.
+        self._limit_probe = limit_probe
+        self._probe_interval = int(probe_interval) if limit_probe is not None else 0
+        self._events_until_probe = self._probe_interval
+        self._board_limit = False
         width_cap = min(config.max_core_width, total_width)
         self.rectangle_sets = resolve_rectangle_sets(
             soc, config.max_core_width, rectangle_sets
@@ -866,14 +890,26 @@ class _Scheduler:
             heapq.heappop(heap)
         next_time = finish
         assert next_time > self.current_time
+        if self._probe_interval > 0:
+            self._events_until_probe -= 1
+            if self._events_until_probe <= 0:
+                self._events_until_probe = self._probe_interval
+                assert self._limit_probe is not None
+                fresh = self._limit_probe()
+                if fresh > 0 and (
+                    self.makespan_limit is None or fresh < self.makespan_limit
+                ):
+                    self.makespan_limit = fresh
+                    self._board_limit = True
         if self.makespan_limit is not None and next_time > self.makespan_limit:
             # Tests remain incomplete past the limit, so the final makespan
             # is strictly worse than the incumbent: abandon the run.  The
             # strict comparison keeps a run that *ties* the limit alive,
             # which makes pruning safe in any evaluation order.
-            raise MakespanLimitExceeded(
-                f"makespan exceeds {self.makespan_limit} at time {next_time}"
-            )
+            message = f"makespan exceeds {self.makespan_limit} at time {next_time}"
+            if self._board_limit:
+                raise IncumbentAbort(message)
+            raise MakespanLimitExceeded(message)
         self.current_time = next_time
         self._fresh_starts.clear()
         if self._no_preemption:
@@ -923,10 +959,13 @@ class _Scheduler:
                 limit = self.makespan_limit
                 for state in self._fresh_starts:
                     if self.current_time + state.remaining > limit:
-                        raise MakespanLimitExceeded(
+                        message = (
                             f"core {state.name!r} cannot finish before "
                             f"{self.current_time + state.remaining} > {limit}"
                         )
+                        if self._board_limit:
+                            raise IncumbentAbort(message)
+                        raise MakespanLimitExceeded(message)
             if not self._incomplete:
                 break
             self._advance()

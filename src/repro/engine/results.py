@@ -42,6 +42,17 @@ _BASE_FIELDS = (
     "worker",
 )
 
+# Run-level execution-stat columns appended (same value on every record)
+# when the run's :class:`ExecutorStats` carries a nonzero counter; absent
+# on stat-less and purely-serial runs so legacy CSV shapes are unchanged
+# (the ``recovery_events`` convention: execution detail appears only when
+# there is execution detail to report).
+_STATS_FIELDS = (
+    "board_aborts",
+    "shm_bytes_saved",
+    "payload_bytes",
+)
+
 
 @dataclass(frozen=True)
 class ExecutorStats:
@@ -60,6 +71,14 @@ class ExecutorStats:
     a derived compatibility property (``True`` whenever any work ran on
     the serial rung -- the same condition that emits a
     :class:`RuntimeWarning` on pool-creation failure).
+
+    The payload-plane counters describe dispatch traffic:
+    ``payload_bytes`` is the total serialized task bytes sent through the
+    pool pipe, ``shm_tasks`` how many of those tasks travelled as slim
+    shared-memory references, ``shm_bytes_saved`` the pickled bytes the
+    shm plane avoided, and ``board_aborts`` how many runs the incumbent
+    board killed *mid-run* inside workers.  Like the recovery counters
+    they depend on scheduling races, never on results.
     """
 
     jobs: int = 0
@@ -69,6 +88,10 @@ class ExecutorStats:
     retries: int = 0
     resurrections: int = 0
     quarantined: int = 0
+    board_aborts: int = 0
+    shm_tasks: int = 0
+    payload_bytes: int = 0
+    shm_bytes_saved: int = 0
     recovery_events: Tuple[RecoveryEvent, ...] = ()
     failures: Tuple[FailureRecord, ...] = ()
 
@@ -196,10 +219,17 @@ class SweepResults:
                     names.append(name)
         return names
 
+    def _stats_names(self) -> List[str]:
+        """Executor-stat columns: only counters the run actually touched."""
+        if self.stats is None:
+            return []
+        return [name for name in _STATS_FIELDS if getattr(self.stats, name)]
+
     def to_records(self) -> List[Dict[str, Any]]:
         """Flat dict records (one per job), ready for CSV/JSON export."""
         tag_names = self._tag_names()
         metadata_names = self._metadata_names()
+        stats_names = self._stats_names()
         records = []
         for result in self.results:
             job = result.job
@@ -225,12 +255,15 @@ class SweepResults:
                 metadata = dict(result.metadata)
                 for name in metadata_names:
                     record[name] = metadata.get(name, "")
+            for name in stats_names:
+                record[name] = getattr(self.stats, name)
             records.append(record)
         return records
 
     def to_csv(self) -> str:
         """Serialise the records to CSV text."""
         headers = list(_BASE_FIELDS) + self._tag_names() + self._metadata_names()
+        headers.extend(name for name in self._stats_names() if name not in headers)
         buffer = io.StringIO()
         writer = csv.DictWriter(buffer, fieldnames=headers, lineterminator="\n")
         writer.writeheader()

@@ -43,7 +43,7 @@ def codes_and_lines(report):
 
 
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         registry = default_rule_registry()
         assert registry.codes() == [
             "REP001",
@@ -57,6 +57,7 @@ class TestRegistry:
             "REP009",
             "REP010",
             "REP011",
+            "REP012",
         ]
 
     def test_unknown_rule_raises(self):
@@ -469,7 +470,7 @@ class TestCli:
     def test_list_rules(self):
         proc = self.run_cli("lint", "--list-rules")
         assert proc.returncode == 0
-        for code in ("REP001", "REP006", "REP007", "REP010", "REP011"):
+        for code in ("REP001", "REP006", "REP007", "REP010", "REP012"):
             assert code in proc.stdout
 
     def test_lint_github_output_format(self, tmp_path):
