@@ -48,6 +48,15 @@ Suites
     mid-run board-abort counts.  ``cpus`` pins the host's core count so a
     1-CPU runner's (necessarily flat) speedups are never mistaken for a
     multi-core measurement.
+``serve``
+    The scheduling service under load: a burst of ``paper``-solver
+    requests (with deliberate duplicates) driven through an in-process
+    :class:`~repro.service.supervisor.Supervisor`, reporting throughput,
+    submit-to-result latency percentiles, peak queue depth (the
+    backpressure signal) and dedup/coalescing hit counts.  Every unique
+    request's served result is recorded under the usual
+    ``{soc}/paper/{width}`` golden keys, so a faster service that serves
+    different schedules is caught like any other perf regression.
 
 The standalone entry point ``benchmarks/harness.py`` and the ``repro bench``
 CLI subcommand are thin wrappers over :func:`run_suite`.
@@ -79,7 +88,7 @@ from repro.soc.benchmarks import get_benchmark
 from repro.solvers import ScheduleRequest, Session
 from repro.wrapper.curve import clear_curve_cache, curve_cache_info, wrapper_curve
 
-SUITES = ("curves", "solve", "sweep", "scale")
+SUITES = ("curves", "solve", "sweep", "scale", "serve")
 
 #: SOCs and TAM widths of the ``solve`` suite's cold full pass (the full
 #: registered ITC'02 set since PR 4).
@@ -695,10 +704,136 @@ def run_scale_suite(
     }
 
 
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = int(round(quantile * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def run_serve_suite(
+    soc_names: Optional[Sequence[str]] = None,
+    widths: Sequence[int] = SOLVE_WIDTHS,
+    duplicates: int = 3,
+) -> Dict[str, Any]:
+    """Throughput/latency/queue-depth of the scheduling service under load.
+
+    Submits ``duplicates`` identically-fingerprinted ``paper`` requests
+    per (SOC, width) cell in one burst through an in-process supervisor
+    (two worker threads, serial solves), then drains.  The duplicate
+    traffic is the point: one copy solves fresh, the rest must be served
+    by in-flight coalescing or the dedup cache, and the report records
+    how many were.  Latency is submit-to-result per request; integrity
+    comes from the served schedules under ``{soc}/paper/{width}`` keys.
+    """
+    import threading
+
+    from repro.service.supervisor import ServiceConfig, Supervisor
+    from repro.solvers import ScheduleResult
+
+    names = tuple(soc_names or ("d695",))
+    cells = [(soc_name, int(width)) for soc_name in names for width in widths]
+    if duplicates < 1:
+        raise ValueError(f"duplicates must be >= 1, got {duplicates}")
+    total_requests = len(cells) * duplicates
+
+    cold_reset()
+    supervisor = Supervisor(
+        config=ServiceConfig(
+            max_inflight=2, queue_limit=max(total_requests, 1), workers=0
+        )
+    )
+    lock = threading.Lock()
+    submit_times: Dict[str, float] = {}
+    done_times: Dict[str, float] = {}
+    results: Dict[str, Dict[str, Any]] = {}
+
+    def reply(message: Dict[str, Any]) -> None:
+        if message.get("event") != "result":
+            return
+        now = time.perf_counter()
+        with lock:
+            done_times[message["id"]] = now
+            results[message["id"]] = dict(message["result"])
+
+    supervisor.start()
+    try:
+        started = time.perf_counter()
+        for soc_name, width in cells:
+            request = ScheduleRequest(
+                soc=get_benchmark(soc_name), total_width=width, solver="paper"
+            )
+            for copy in range(duplicates):
+                request_id = f"{soc_name}/w{width}/{copy}"
+                submit_times[request_id] = time.perf_counter()
+                supervisor.submit(request_id, request, reply)
+        drained = supervisor.drain(timeout=600.0)
+        total_seconds = time.perf_counter() - started
+        stats = supervisor.stats()
+    finally:
+        supervisor.close()
+    if not drained:
+        raise AssertionError("serve suite: the supervisor did not drain")
+    if len(results) != total_requests:
+        raise AssertionError(
+            f"serve suite: submitted {total_requests} requests but "
+            f"{len(results)} results came back"
+        )
+
+    latencies = sorted(
+        done_times[request_id] - submit_times[request_id]
+        for request_id in done_times
+    )
+    makespans: Dict[str, int] = {}
+    fingerprints: Dict[str, str] = {}
+    for soc_name, width in cells:
+        served = ScheduleResult.from_dict(results[f"{soc_name}/w{width}/0"])
+        key = f"{soc_name}/paper/{width}"
+        makespans[key] = served.makespan
+        fingerprints[key] = schedule_fingerprint(served.schedule)
+    phases: Dict[str, Dict[str, Any]] = {
+        "serve/total": {
+            "seconds": total_seconds,
+            "requests": total_requests,
+            "throughput_rps": (
+                total_requests / total_seconds if total_seconds else 0.0
+            ),
+        },
+        "serve/latency": {
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p90_seconds": _percentile(latencies, 0.90),
+            "max_seconds": latencies[-1] if latencies else 0.0,
+        },
+        "serve/queue": {
+            "max_queue_depth": stats.get("max_queue_depth", 0),
+            "queue_limit": stats.get("queue_limit", 0),
+        },
+        "serve/dedup": {
+            "fresh": stats.get("completed", 0)
+            - stats.get("dedup_cached", 0)
+            - stats.get("dedup_coalesced", 0),
+            "coalesced": stats.get("dedup_coalesced", 0),
+            "cached": stats.get("dedup_cached", 0),
+        },
+    }
+    return {
+        **_meta("serve"),
+        "socs": list(names),
+        "widths": [int(width) for width in widths],
+        "duplicates": duplicates,
+        "phases": phases,
+        "cache": _cache_stats(),
+        "makespans": makespans,
+        "fingerprints": fingerprints,
+    }
+
+
 def run_suite(
     suite: str, soc_names: Optional[Sequence[str]] = None, **kwargs: Any
 ) -> Dict[str, Any]:
-    """Dispatch one named suite (``curves``, ``solve``, ``sweep``, ``scale``)."""
+    """Dispatch one named suite (``curves``, ``solve``, ``sweep``, ``scale``,
+    ``serve``)."""
     if suite == "curves":
         return run_curves_suite(soc_names or ("d695",), **kwargs)
     if suite == "solve":
@@ -707,6 +842,8 @@ def run_suite(
         return run_sweep_suite(soc_names or ("d695",), **kwargs)
     if suite == "scale":
         return run_scale_suite(soc_names or SCALE_SOCS, **kwargs)
+    if suite == "serve":
+        return run_serve_suite(soc_names or ("d695",), **kwargs)
     raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
 
 

@@ -44,7 +44,17 @@ Subcommands
     reference.  ``--journal`` exports the structured fault journal
     (failures + recovery-ladder events) as JSON; ``--check-golden``
     additionally pins the makespan/fingerprint against the checked-in
-    golden file.
+    golden file.  ``--serve`` runs the service-level scenarios instead
+    (worker kill mid-request, client disconnect, server kill + journal
+    replay, queue flood) against an in-process supervisor, asserting
+    byte-identity against batch ``Session.solve``.
+``serve``
+    Run the supervised scheduling service: JSONL requests over stdio
+    (default) or a TCP listener, with admission control (bounded queue,
+    explicit ``overloaded`` rejections), queue-depth backpressure
+    reporting, per-request deadlines with mid-solve cancellation,
+    fingerprint dedup/coalescing and a write-ahead ``--journal`` that
+    makes a killed-and-restarted server replay losslessly.
 ``lint``
     Run the determinism & fork-safety static-analysis suite
     (:mod:`repro.staticcheck`) over the source tree; ``--json`` emits the
@@ -421,8 +431,94 @@ def _chaos_plan(args: argparse.Namespace) -> "object":
     return plan if plan is not None else FaultPlan()
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """``repro chaos --serve``: the service-level fault scenarios."""
+    from repro.service.chaos import SERVE_FAULT_KINDS, run_serve_chaos
+
+    soc, _ = _load(args)
+    kinds = SERVE_FAULT_KINDS
+    if args.serve_kinds:
+        kinds = tuple(
+            kind.strip() for kind in args.serve_kinds.split(",") if kind.strip()
+        )
+    try:
+        report = run_serve_chaos(soc, args.width, kinds=kinds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"soc          : {soc.name} (TAM width {args.width})")
+    for outcome in report.outcomes:
+        verdict = "OK  " if outcome.passed else "FAIL"
+        print(f"  {verdict} {outcome.kind:<12}: {outcome.detail}")
+    if args.journal:
+        with open(args.journal, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.journal}")
+    if not report.ok:
+        print(
+            "SERVE CHAOS FAILED: a service fault scenario broke the "
+            "byte-identity contract",
+            file=sys.stderr,
+        )
+        return 1
+    print("serve chaos check: OK (every scenario byte-identical to batch solve)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the supervised scheduling service."""
+    from repro.service import ServiceConfig, Supervisor, serve_stream, serve_tcp
+    from repro.service.supervisor import SupervisorError
+
+    try:
+        config = ServiceConfig(
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            default_deadline=args.default_deadline,
+            workers=args.workers,
+            journal_path=Path(args.journal) if args.journal else None,
+            fsync=args.fsync,
+        )
+    except SupervisorError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    supervisor = Supervisor(config=config)
+    try:
+        if args.transport == "tcp":
+            print(
+                f"serving on tcp://{args.host}:{args.port} "
+                f"(max_inflight={config.max_inflight}, "
+                f"queue_limit={config.queue_limit})",
+                file=sys.stderr,
+            )
+            supervisor.start()
+            serve_tcp(
+                supervisor,
+                host=args.host,
+                port=args.port,
+                drain_timeout=args.drain_timeout,
+            )
+        else:
+            # serve_stream starts the supervisor itself so journal-replay
+            # traffic reaches the client after the hello banner.
+            serve_stream(
+                supervisor,
+                sys.stdin,
+                sys.stdout,
+                drain_timeout=args.drain_timeout,
+                install_signal_handlers=True,
+            )
+    finally:
+        supervisor.close()
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import warnings
+
+    if args.serve:
+        return _cmd_chaos_serve(args)
 
     from repro.analysis.perf import SOLVE_OPTIONS, check_golden, load_report
     from repro.analysis.perf import schedule_fingerprint as fingerprint
@@ -809,11 +905,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("curves", "solve", "sweep", "scale"),
+        choices=("curves", "solve", "sweep", "scale", "serve"),
         default="curves",
         help="what to measure: per-core curve construction (default), the "
-        "cold full-solver pass, the Figure 9 sweep, or the worker-count "
-        "scaling curve of the shared-memory payload plane",
+        "cold full-solver pass, the Figure 9 sweep, the worker-count "
+        "scaling curve of the shared-memory payload plane, or the "
+        "scheduling service under a duplicate-heavy request burst",
     )
     p_bench.add_argument(
         "--workers",
@@ -903,7 +1000,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compare the faulted run's makespan/fingerprint against "
         "this golden JSON and exit 1 on drift",
     )
+    p_chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the service-level fault scenarios instead (worker kill, "
+        "client disconnect, server kill + journal replay, queue flood), "
+        "asserting byte-identity against batch Session.solve",
+    )
+    p_chaos.add_argument(
+        "--serve-kinds",
+        metavar="KIND[,KIND...]",
+        default=None,
+        help="comma-separated subset of the service fault kinds to run "
+        "with --serve (default: all)",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the supervised scheduling service (JSONL over stdio or TCP)",
+    )
+    p_serve.add_argument(
+        "--transport",
+        choices=("stdio", "tcp"),
+        default="stdio",
+        help="stdio serves one JSONL client on stdin/stdout (default); "
+        "tcp runs the asyncio listener",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p_serve.add_argument("--port", type=int, default=7533, help="TCP bind port")
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="requests solved concurrently (worker threads; default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="bounded accept queue depth; further solves are rejected "
+        "'overloaded' (default 8)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="process fan-out per solve (default 0: in-thread serial "
+        "solves, fully cancellable)",
+    )
+    p_serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline in seconds applied to requests that name none "
+        "(default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write-ahead event journal path; an existing journal is "
+        "replayed on startup (completed-unacked results re-served, "
+        "unsettled requests re-run)",
+    )
+    p_serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every journal record (survive power loss, pay a sync "
+        "per record)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight work on EOF/shutdown/SIGTERM "
+        "(default 30)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

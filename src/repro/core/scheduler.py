@@ -48,9 +48,11 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import sys
 import warnings
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -62,6 +64,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:  # import cycle: core/ must not pull in engine/ at runtime
+    from repro.engine.faults import CancelToken
 
 from repro.core.rectangles import RectangleSet, resolve_rectangle_sets
 from repro.schedule.schedule import ScheduleSegment, TestSchedule
@@ -300,6 +305,17 @@ class _Scheduler:
         self._probe_interval = int(probe_interval) if limit_probe is not None else 0
         self._events_until_probe = self._probe_interval
         self._board_limit = False
+        # Ambient cooperative cancellation (service layer): capture the
+        # calling thread's cancel token once at construction.  sys.modules
+        # is consulted instead of importing -- core/ must not pull in
+        # engine/, and a solve can only run inside a cancel scope if
+        # repro.engine.faults is already imported (whoever armed the token
+        # imported it first).  A fired token aborts the run at the next
+        # event-loop checkpoint via CancelledSolve.
+        faults = sys.modules.get("repro.engine.faults")
+        self._cancel_token: Optional["CancelToken"] = (
+            faults.active_cancel_token() if faults is not None else None
+        )
         width_cap = min(config.max_core_width, total_width)
         self.rectangle_sets = resolve_rectangle_sets(
             soc, config.max_core_width, rectangle_sets
@@ -890,6 +906,10 @@ class _Scheduler:
             heapq.heappop(heap)
         next_time = finish
         assert next_time > self.current_time
+        if self._cancel_token is not None:
+            # Cooperative cancellation checkpoint: one Event read (plus a
+            # monotonic-clock read when a deadline is armed) per event.
+            self._cancel_token.raise_if_cancelled()
         if self._probe_interval > 0:
             self._events_until_probe -= 1
             if self._events_until_probe <= 0:

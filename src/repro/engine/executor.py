@@ -104,9 +104,11 @@ from repro.engine.faults import (
     STAGE_QUARANTINED,
     STAGE_RESURRECTED,
     STAGE_SERIAL,
+    CancelledSolve,
     FailureRecord,
     FaultPlan,
     RecoveryEvent,
+    active_cancel_token,
     apply_task_fault,
     backoff_delay,
     encode_recovery_events,
@@ -1120,6 +1122,14 @@ class FlatExecutor:
     def close(self) -> None:
         """Tear down the pool (if any).  The executor stays usable.
 
+        Idempotent and shutdown-safe: the pool handle is detached before
+        teardown begins, so a second ``close()`` (or ``Session.close()``
+        after ``use_executor`` already closed, or the atexit hook firing
+        after an explicit close) is a pure no-op, and teardown of a pool
+        whose workers are already dead or reaped cannot raise out of
+        ``close()`` -- ``terminate``/``join`` on a half-collected pool
+        during interpreter shutdown is best-effort by construction.
+
         Plan segments are *not* released here: mid-run resurrection calls
         ``close()`` between rounds and the fresh pool's workers re-attach
         to the surviving segments by name.  They are released in the run
@@ -1133,8 +1143,10 @@ class FlatExecutor:
         self._processes = 0
         self._pairs = set()
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            with contextlib.suppress(Exception):
+                pool.terminate()
+            with contextlib.suppress(Exception):
+                pool.join()
         if universe is not None:
             universe.close()
 
@@ -1569,6 +1581,15 @@ class FlatExecutor:
         iterator = pool.imap_unordered(_execute_chunk, chunked(), chunksize=1)
         try:
             while True:
+                token = active_cancel_token()
+                if token is not None and token.cancelled():
+                    # Cooperative cancellation checkpoint (service layer):
+                    # journal the abandonment, then raise -- _supervise's
+                    # escalation path tears the pool down, dropping every
+                    # in-flight task with it.
+                    reason = token.reason()
+                    journal.failure(kind="cancelled", action="raise", error=reason)
+                    raise CancelledSolve(reason)
                 try:
                     if self._task_deadline is not None:
                         replies = iterator.next(timeout=self._task_deadline)
@@ -1976,6 +1997,12 @@ def use_executor(executor: FlatExecutor) -> Iterator[FlatExecutor]:
     solve -- grid fan-out included -- through an executor armed with a
     :class:`~repro.engine.faults.FaultPlan` and a tight task deadline
     without disturbing the session's warm default pool.
+
+    The restore runs in a ``finally`` *before* the close, so the previous
+    default comes back even when the body raises mid-dispatch and even if
+    the installed executor's teardown were to misbehave (``close()`` is
+    itself exception-safe); a failed solve can never leave the process
+    default pointing at the temporary executor.
     """
     global _DEFAULT_EXECUTOR
     previous = _DEFAULT_EXECUTOR

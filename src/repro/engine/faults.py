@@ -22,6 +22,15 @@ This module defines the fault-tolerance contract of the flat executor
   used between task retries.  The per-task spread is derived from a CRC32
   of the task fingerprint, not from a random source, so two runs of the
   same plan sleep identically.
+* :class:`CancelToken` / :func:`cancel_scope` -- cooperative mid-run
+  cancellation (PR 10).  The scheduling service arms a token per request
+  (client disconnects, per-request deadlines) and installs it as the
+  calling thread's ambient *cancel scope*; the scheduler's event loop and
+  the executor's dispatch loop poll the ambient token and abandon the run
+  with :class:`CancelledSolve` -- the same checkpoint cadence as the
+  PR 9 incumbent-board abort path, so a cancelled grid fan-out drops its
+  in-flight worker tasks instead of finishing them.  Deadlines are
+  measured with ``time.perf_counter`` (monotonic; REP002-clean).
 
 Everything here is dependency-free (stdlib only) and import-cycle-free:
 ``repro.core.grid_sweep`` and ``repro.engine.results`` both import it.
@@ -29,13 +38,15 @@ Everything here is dependency-free (stdlib only) and import-cycle-free:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 #: Environment variable naming a fault plan: inline JSON or a file path.
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
@@ -397,6 +408,132 @@ def backoff_delay(fingerprint: str, attempt: int, base: float) -> float:
     return base * (2.0 ** max(0, attempt - 1)) * fingerprint_spread(fingerprint)
 
 
+# ----------------------------------------------------------------------
+# Cooperative cancellation (service layer, PR 10)
+# ----------------------------------------------------------------------
+#: Reason slug recorded when a token's deadline fires (as opposed to an
+#: explicit ``cancel()`` call).
+REASON_DEADLINE = "deadline-exceeded"
+
+
+class CancelledSolve(RuntimeError):
+    """A solve was abandoned at a cancellation checkpoint.
+
+    Deliberately *not* a :class:`SchedulerError` subclass: solver shims
+    wrap scheduler errors into ``SolverError``, but cancellation must
+    propagate raw to whoever armed the token (the service supervisor).
+    ``reason`` is a short slug (``deadline-exceeded``, ``disconnect``,
+    ``client-cancel``, ...) suitable for journal records.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation handle with an optional deadline.
+
+    The deadline is an *absolute* ``time.perf_counter`` timestamp
+    (monotonic -- REP002-clean); build one from a relative budget with
+    :meth:`after`.  Checkpoints call :meth:`raise_if_cancelled`, which is
+    one ``Event.is_set`` plus (when a deadline is armed) one
+    ``perf_counter`` read -- cheap enough for the scheduler's per-event
+    loop.
+    """
+
+    __slots__ = ("_event", "_reason", "_deadline")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        self._event = threading.Event()
+        self._reason = ""
+        self._deadline = deadline
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "CancelToken":
+        """A token whose deadline is ``seconds`` from now (``None`` = never)."""
+        if seconds is None:
+            return cls()
+        return cls(deadline=time.perf_counter() + float(seconds))
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The absolute ``perf_counter`` deadline, or ``None``."""
+        return self._deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (negative when past), or ``None``."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.perf_counter()
+
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self._deadline is not None and time.perf_counter() >= self._deadline
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token.  The first reason wins; later calls are no-ops."""
+        if not self._event.is_set():
+            self._reason = reason or "cancelled"
+            self._event.set()
+
+    def cancelled(self) -> bool:
+        """Whether the token has fired or its deadline has passed."""
+        return self._event.is_set() or self.expired()
+
+    def reason(self) -> str:
+        """The cancellation reason slug (empty while the token is live)."""
+        if self._event.is_set():
+            return self._reason or "cancelled"
+        if self.expired():
+            return REASON_DEADLINE
+        return ""
+
+    def raise_if_cancelled(self) -> None:
+        """Checkpoint: raise :class:`CancelledSolve` once the token fires."""
+        if self._event.is_set():
+            raise CancelledSolve(self._reason or "cancelled")
+        if self.expired():
+            raise CancelledSolve(REASON_DEADLINE)
+
+
+#: Per-thread ambient cancel scope.  ``threading.local`` is empty in a
+#: freshly forked worker's main thread, so pool workers never inherit a
+#: parent-side token.  # repro: fork-local
+_CANCEL_SCOPE = threading.local()
+
+
+def active_cancel_token() -> Optional[CancelToken]:
+    """The calling thread's ambient token, or ``None`` outside a scope."""
+    token = getattr(_CANCEL_SCOPE, "token", None)
+    return token if isinstance(token, CancelToken) else None
+
+
+@contextlib.contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Install ``token`` as the calling thread's ambient cancel scope.
+
+    Scopes nest: the previous token (if any) is restored on exit even when
+    the body raises.  The scheduler's event loop and the executor's reply
+    loop consult :func:`active_cancel_token` at their checkpoints, so any
+    solve dispatched inside the scope -- serial or pooled -- aborts
+    promptly once the token fires.
+    """
+    previous = getattr(_CANCEL_SCOPE, "token", None)
+    _CANCEL_SCOPE.token = token
+    try:
+        yield token
+    finally:
+        _CANCEL_SCOPE.token = previous
+
+
+def check_cancelled() -> None:
+    """Raise :class:`CancelledSolve` if the ambient token (if any) fired."""
+    token = active_cancel_token()
+    if token is not None:
+        token.raise_if_cancelled()
+
+
 def journal_to_json(
     failures: Iterable[FailureRecord],
     events: Iterable[RecoveryEvent],
@@ -420,20 +557,26 @@ __all__ = [
     "FAULT_KILL",
     "FAULT_KINDS",
     "FAULT_POOL",
+    "CancelToken",
+    "CancelledSolve",
     "FailureRecord",
     "FaultAction",
     "FaultPlan",
     "FaultPlanError",
     "InjectedFault",
     "KILL_EXIT_CODE",
+    "REASON_DEADLINE",
     "RECOVERY_LADDER",
     "RecoveryEvent",
     "STAGE_PARALLEL",
     "STAGE_QUARANTINED",
     "STAGE_RESURRECTED",
     "STAGE_SERIAL",
+    "active_cancel_token",
     "apply_task_fault",
     "backoff_delay",
+    "cancel_scope",
+    "check_cancelled",
     "encode_recovery_events",
     "fingerprint_spread",
     "format_error",

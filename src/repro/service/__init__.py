@@ -1,0 +1,59 @@
+"""The supervised scheduling service (``repro serve``).
+
+Layers, bottom up:
+
+* :mod:`repro.service.protocol` -- the JSONL wire vocabulary (client ops,
+  server events, admission/failure reasons, dedup provenance) and the
+  canonical result-identity helpers.
+* :mod:`repro.service.journal` -- the write-ahead event journal and the
+  pure :func:`~repro.service.journal.replay` fold that turns a journal
+  file into a restart plan.
+* :mod:`repro.service.supervisor` -- the transport-agnostic core:
+  admission control, backpressure, deadlines/cancellation, dedup +
+  coalescing, journalling and crash recovery over
+  ``solve(ScheduleRequest)``.
+* :mod:`repro.service.transport` -- thin stdin-JSONL and asyncio TCP
+  shells over one supervisor.
+* :mod:`repro.service.chaos` -- service-level fault scenarios (worker
+  kill, client disconnect, server kill + restart, queue flood) asserting
+  byte-identity against batch ``Session.solve``.
+"""
+
+from repro.service.chaos import (
+    SERVE_FAULT_KINDS,
+    ServeChaosOutcome,
+    ServeChaosReport,
+    run_serve_chaos,
+)
+from repro.service.journal import EventJournal, JournalRecord, ReplayPlan, replay
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_result_dict,
+    parse_client_line,
+    result_fingerprint,
+)
+from repro.service.supervisor import Reply, ServiceConfig, Supervisor, SupervisorError
+from repro.service.transport import serve_stream, serve_tcp
+
+__all__ = [
+    "EventJournal",
+    "JournalRecord",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Reply",
+    "ReplayPlan",
+    "SERVE_FAULT_KINDS",
+    "ServeChaosOutcome",
+    "ServeChaosReport",
+    "ServiceConfig",
+    "Supervisor",
+    "SupervisorError",
+    "canonical_result_dict",
+    "parse_client_line",
+    "replay",
+    "result_fingerprint",
+    "run_serve_chaos",
+    "serve_stream",
+    "serve_tcp",
+]

@@ -1,0 +1,257 @@
+"""Transports of the scheduling service: stdin-JSONL first, TCP behind it.
+
+Both transports are thin shells over one :class:`~repro.service.supervisor
+.Supervisor`; every admission, deadline, dedup and journalling decision
+lives in the supervisor, so the two transports cannot diverge in
+behaviour.  A transport's whole job is:
+
+* read client JSONL lines and hand parsed messages to
+  :meth:`Supervisor.process`;
+* give the supervisor a thread-safe ``reply`` callable for its worker
+  threads to deliver events through;
+* map transport lifecycle onto supervisor lifecycle -- and the mapping
+  is deliberately asymmetric:
+
+  - **stdin EOF means drain, not disconnect.**  A pipe client writes all
+    its lines and closes stdin; the results are still wanted, so the
+    server stops accepting, finishes the queue and says ``bye``.
+  - **a broken write pipe means disconnect.**  Nobody is reading, so the
+    client's in-flight work is cancelled via its tokens.
+  - **a closed TCP connection means disconnect** (the peer is gone), and
+    a slow TCP consumer whose write buffer exceeds the bound is treated
+    the same way -- backpressure is not allowed to turn into unbounded
+    server-side buffering.
+
+``SIGTERM`` asks the stream server for the same graceful drain an EOF
+does (finish in-flight work, journal everything, ``bye``, exit).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from typing import Any, Dict, IO, Optional
+
+from repro.service import protocol
+from repro.service.supervisor import Supervisor
+
+#: Per-connection TCP write-buffer bound (bytes) before a consumer is
+#: declared too slow and disconnected.
+TCP_WRITE_BUFFER_LIMIT = 4 * 1024 * 1024
+
+
+class _DrainRequested(Exception):
+    """Raised by the SIGTERM handler to interrupt a blocking readline."""
+
+
+class _StreamWriter:
+    """Serialises server messages onto one text stream (thread-safe).
+
+    Supervisor worker threads and the transport's read loop both write
+    through this; the lock keeps JSONL lines whole.  A write failure
+    marks the stream broken so the caller can translate it into a
+    disconnect exactly once.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+        self.broken = False
+
+    def send(self, message: Dict[str, Any]) -> None:
+        with self._lock:
+            if self.broken:
+                raise BrokenPipeError("service output stream already broken")
+            try:
+                self._stream.write(protocol.encode_message(message) + "\n")
+                self._stream.flush()
+            except (BrokenPipeError, OSError):
+                self.broken = True
+                raise
+
+
+def serve_stream(
+    supervisor: Supervisor,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    client: str = "stdin",
+    drain_timeout: float = 30.0,
+    install_signal_handlers: bool = False,
+) -> int:
+    """Serve one JSONL client over a pair of text streams; returns served count.
+
+    The loop ends on EOF, an explicit ``shutdown`` op, or SIGTERM (when
+    ``install_signal_handlers`` is set and we are the main thread); all
+    three drain the queue and emit ``bye``.  A broken output pipe instead
+    disconnects the client (cancelling its in-flight work) and exits
+    without draining on its behalf.
+    """
+    writer = _StreamWriter(output_stream)
+
+    def reply(message: Dict[str, Any]) -> None:
+        writer.send(message)
+
+    previous_handler: Any = None
+    handling_signals = (
+        install_signal_handlers
+        and threading.current_thread() is threading.main_thread()
+    )
+    if handling_signals:
+
+        def _on_sigterm(signum: int, frame: Any) -> None:
+            raise _DrainRequested()
+
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        try:
+            reply(
+                protocol.hello_message(
+                    supervisor.config.max_inflight, supervisor.config.queue_limit
+                )
+            )
+            if not supervisor.started:
+                # Starting after the hello routes journal-replay traffic
+                # (re-served results, re-run requests) to this client.
+                supervisor.start(replay_reply=reply)
+            while True:
+                line = input_stream.readline()
+                if not line:
+                    break  # EOF: the client said everything; drain and bye
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.parse_client_line(line)
+                except protocol.ProtocolError as error:
+                    reply(
+                        protocol.rejected_message(
+                            "", protocol.REJECT_BAD_REQUEST, error=str(error)
+                        )
+                    )
+                    continue
+                if not supervisor.process(message, reply, client=client):
+                    break  # shutdown op: drain and bye
+        except _DrainRequested:
+            pass  # SIGTERM: fall through to the drain
+        supervisor.drain(timeout=drain_timeout)
+        reply(protocol.bye_message(supervisor.served))
+    except (BrokenPipeError, OSError):
+        # Nobody is reading: cancel this client's work instead of
+        # finishing it into a dead pipe.
+        supervisor.disconnect(client)
+    finally:
+        if handling_signals:
+            signal.signal(signal.SIGTERM, previous_handler)
+    return supervisor.served
+
+
+# ----------------------------------------------------------------------
+# TCP
+# ----------------------------------------------------------------------
+async def _serve_connection(
+    supervisor: Supervisor,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    client: str,
+    shutdown: asyncio.Event,
+) -> None:
+    loop = asyncio.get_running_loop()
+    send_lock = threading.Lock()
+    closed = False
+
+    def _write_now(message: Dict[str, Any]) -> None:
+        nonlocal closed
+        if closed or writer.is_closing():
+            return
+        transport = writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > TCP_WRITE_BUFFER_LIMIT
+        ):
+            # Slow consumer: close rather than buffer without bound.
+            closed = True
+            supervisor.disconnect(client)
+            writer.close()
+            return
+        writer.write((protocol.encode_message(message) + "\n").encode("utf-8"))
+
+    def reply(message: Dict[str, Any]) -> None:
+        # Worker threads marshal their deliveries onto the event loop.
+        with send_lock:
+            loop.call_soon_threadsafe(_write_now, message)
+
+    _write_now(
+        protocol.hello_message(
+            supervisor.config.max_inflight, supervisor.config.queue_limit
+        )
+    )
+    try:
+        while not shutdown.is_set():
+            raw = await reader.readline()
+            if not raw:
+                break  # peer closed the connection
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            try:
+                message = protocol.parse_client_line(line)
+            except protocol.ProtocolError as error:
+                reply(
+                    protocol.rejected_message(
+                        "", protocol.REJECT_BAD_REQUEST, error=str(error)
+                    )
+                )
+                continue
+            if not supervisor.process(message, reply, client=client):
+                shutdown.set()
+                break
+    finally:
+        # A vanished TCP peer is a disconnect: cancel its in-flight work.
+        supervisor.disconnect(client)
+        closed = True
+        if not writer.is_closing():
+            writer.close()
+
+
+async def _serve_tcp(
+    supervisor: Supervisor, host: str, port: int, drain_timeout: float
+) -> int:
+    shutdown = asyncio.Event()
+    connection_count = 0
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        nonlocal connection_count
+        connection_count += 1
+        await _serve_connection(
+            supervisor, reader, writer, f"tcp:{connection_count}", shutdown
+        )
+
+    server = await asyncio.start_server(handler, host, port)
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, shutdown.set)
+    except (NotImplementedError, RuntimeError):
+        pass  # not the main thread / platform without signal support
+    async with server:
+        await shutdown.wait()
+    await asyncio.to_thread(supervisor.drain, drain_timeout)
+    return supervisor.served
+
+
+def serve_tcp(
+    supervisor: Supervisor,
+    host: str = "127.0.0.1",
+    port: int = 7533,
+    drain_timeout: float = 30.0,
+) -> int:
+    """Serve JSONL clients over TCP until a ``shutdown`` op or SIGTERM."""
+    return asyncio.run(_serve_tcp(supervisor, host, port, drain_timeout))
+
+
+__all__ = [
+    "TCP_WRITE_BUFFER_LIMIT",
+    "serve_stream",
+    "serve_tcp",
+]

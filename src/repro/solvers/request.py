@@ -21,6 +21,7 @@ layer can put on the wire unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
@@ -89,6 +90,17 @@ class ScheduleRequest:
         merged = dict(self.options)
         merged.update(options)
         return replace(self, options=merged)
+
+    def fingerprint(self) -> str:
+        """A stable content hash identifying this exact problem + solver.
+
+        SHA-256 over the canonical (sorted-keys, compact-separator) JSON
+        form of :meth:`to_dict`: two requests share a fingerprint iff
+        they serialise identically.  The service layer keys its dedup
+        cache, in-flight coalescing and write-ahead journal on this.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Serialization

@@ -1,4 +1,4 @@
-"""The built-in lint rules (REP001-REP012).
+"""The built-in lint rules (REP001-REP013).
 
 Importing this package registers every rule into the process-wide
 :func:`~repro.staticcheck.engine.default_rule_registry` -- the exact
@@ -38,6 +38,12 @@ REP012     Shm lifecycle: ``SharedMemory`` segments may only be
            ``engine/shm`` lifecycle helpers (``publish_plan``,
            ``adopt_universe``, ...) whose finalizer and
            resource-tracker guards prevent leaks (interprocedural).
+REP013     Unsettled service handler: handlers catching outcome-class
+           exceptions (``CancelledSolve``/``SolverError``/broad
+           ``Exception``/pipe errors) in ``service/`` must settle the
+           request -- journal its ``completed``/``failed`` record and
+           deliver -- or re-raise, so journal replay stays a complete
+           account of every request.
 =========  ==============================================================
 
 REP007--REP010 are *project* rules built on the interprocedural layer in
@@ -58,4 +64,5 @@ from repro.staticcheck.rules import (  # noqa: F401  (imported for registration)
     rep010_hotpath,
     rep011_recovery,
     rep012_shm,
+    rep013_service,
 )

@@ -1,0 +1,195 @@
+"""REP013: service request handlers must journal the outcome or re-raise.
+
+The scheduling service's crash-recovery proof (journal replay serving
+byte-identical results) only holds if the write-ahead journal is a
+*complete* account of every request's life.  A handler on the service
+request path that catches an outcome-class exception -- a cancelled
+solve, a solver error, a broad ``Exception``, a dead client pipe -- and
+then neither settles the request (journalling its ``completed``/
+``failed`` record) nor re-raises, silently drops a request: the client
+never hears back, and a restarted server re-runs work the dead server
+already decided.  This is REP011 lifted from the engine's fault journal
+to the service's event journal.
+
+A handler is reported when all of the following hold:
+
+* it lives under ``service/``;
+* it catches an *outcome-class* exception -- the caught type's trailing
+  name (any element, for tuples) contains one of ``exception``/
+  ``cancel``/``solvererror``/``oserror``/``brokenpipe``/
+  ``protocolerror``/``connection`` (case-insensitive);
+* its body contains no ``raise``;
+* its body calls nothing whose name carries the settlement vocabulary --
+  ``journal``/``record``/``fail``/``reject``/``settle``/``complete``/
+  ``disconnect``/``drain`` (the supervisor's settlement helpers journal
+  and deliver every member's outcome; ``disconnect`` cancels and
+  re-routes a vanished client's tickets).
+
+When the enclosing function is reachable from a service entry point --
+``serve*``, ``process``, ``submit``, ``start``, ``ack``, ``cancel`` or
+``disconnect`` in a ``service/`` module -- the finding carries the
+witness call chain, exactly as REP007-REP011 do for worker entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.staticcheck.analysis import ProjectAnalysis
+
+from repro.staticcheck.engine import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    ProjectContext,
+    register_rule,
+)
+from repro.staticcheck.rules._astutil import call_name
+
+#: Substrings (lowercased) of caught-type names that mark a handler as
+#: deciding a request's outcome.
+OUTCOME_EXCEPTION_MARKERS = (
+    "exception",
+    "cancel",
+    "solvererror",
+    "oserror",
+    "brokenpipe",
+    "protocolerror",
+    "connection",
+)
+
+#: Substrings of call names that settle a request (journal + deliver).
+SETTLEMENT_CALLS = (
+    "journal",
+    "record",
+    "fail",
+    "reject",
+    "settle",
+    "complete",
+    "disconnect",
+    "drain",
+)
+
+#: Function names that enter the service request path.
+SERVICE_ENTRY_NAMES = ("process", "submit", "start", "ack", "cancel", "disconnect")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """Trailing identifiers of every exception type the handler names."""
+    if handler.type is None:
+        return ()
+    candidates: Tuple[ast.expr, ...] = (handler.type,)
+    if isinstance(handler.type, ast.Tuple):
+        candidates = tuple(handler.type.elts)
+    names = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name):
+            names.append(candidate.id)
+        elif isinstance(candidate, ast.Attribute):
+            names.append(candidate.attr)
+    return tuple(names)
+
+
+def _is_outcome_handler(handler: ast.ExceptHandler) -> bool:
+    """True when any caught type name carries an outcome-class marker."""
+    for name in _caught_names(handler):
+        lowered = name.lower()
+        if any(marker in lowered for marker in OUTCOME_EXCEPTION_MARKERS):
+            return True
+    return False
+
+
+def _handler_settles(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or settles the request."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            called = call_name(node.func).lower()
+            if any(marker in called for marker in SETTLEMENT_CALLS):
+                return True
+    return False
+
+
+def _is_service_entry(name: str) -> bool:
+    return name.startswith("serve") or name in SERVICE_ENTRY_NAMES
+
+
+@register_rule
+class UnsettledServiceHandlerRule(LintRule):
+    """Service request handlers that drop a request without settling it."""
+
+    code = "REP013"
+    name = "unsettled-service-handler"
+    description = (
+        "handlers catching outcome-class exceptions (CancelledSolve/"
+        "SolverError/Exception/OSError/...) in service/ must settle the "
+        "request -- journal its completed/failed record and deliver -- or "
+        "re-raise; a dropped request breaks the journal-replay recovery "
+        "proof"
+    )
+    scopes = ("service/",)
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        analysis = context.analysis()
+        reachable = analysis.call_graph.reachable(
+            entries=self._service_entries(analysis)
+        )
+        for module in context.modules:
+            if not self.applies_to(module.module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_outcome_handler(node):
+                    continue
+                if _handler_settles(node):
+                    continue
+                chain: Tuple[str, ...] = ()
+                ident = self._enclosing_function(analysis, module, node)
+                if ident is not None and ident in reachable:
+                    chain = reachable[ident]
+                caught = ", ".join(_caught_names(node))
+                yield Finding(
+                    path=module.display_path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    rule=self.code,
+                    severity=self.severity,
+                    message=(
+                        f"'except {caught}' decides a request outcome "
+                        "without settling it or re-raising; journal the "
+                        "completed/failed record and deliver (settle/fail/"
+                        "reject/disconnect vocabulary) so journal replay "
+                        "stays a complete account"
+                    ),
+                    chain=chain,
+                )
+
+    @staticmethod
+    def _service_entries(analysis: "ProjectAnalysis") -> Tuple[str, ...]:
+        """Idents of the service request-path entry functions."""
+        entries = [
+            ident
+            for ident, symbol in analysis.table.functions.items()
+            if "service" in symbol.module and _is_service_entry(symbol.name)
+        ]
+        return tuple(sorted(entries))
+
+    @staticmethod
+    def _enclosing_function(
+        analysis: "ProjectAnalysis", module: ModuleContext, node: ast.ExceptHandler
+    ) -> Optional[str]:
+        """The innermost project function containing ``node``, if any."""
+        best: Optional[Tuple[int, str]] = None
+        for ident, symbol in analysis.table.functions.items():
+            if symbol.path != module.display_path:
+                continue
+            end = int(getattr(symbol.node, "end_lineno", symbol.lineno) or symbol.lineno)
+            if symbol.lineno <= node.lineno <= end:
+                candidate = (symbol.lineno, ident)
+                if best is None or candidate > best:
+                    best = candidate  # innermost = latest-starting enclosing def
+        return best[1] if best is not None else None

@@ -705,6 +705,73 @@ class TestRep012ShmLifecycle:
 
 
 # ----------------------------------------------------------------------
+# REP013: unsettled service request handlers
+# ----------------------------------------------------------------------
+class TestRep013UnsettledServiceHandler:
+    BAD = (
+        "def _solve_ticket(session, ticket):\n"
+        "    try:\n"
+        "        return session.solve(ticket.request)\n"
+        "    except CancelledSolve:\n"
+        "        return None\n"
+        "def process(session, message):\n"
+        "    try:\n"
+        "        return _solve_ticket(session, message)\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    GOOD = (
+        "def settled(session, ticket, supervisor):\n"
+        "    try:\n"
+        "        return session.solve(ticket.request)\n"
+        "    except CancelledSolve as error:\n"
+        "        supervisor._settle_cancelled(ticket, error.reason)\n"
+        "        return None\n"
+        "def journalled(session, ticket, supervisor):\n"
+        "    try:\n"
+        "        return session.solve(ticket.request)\n"
+        "    except SolverError as error:\n"
+        "        supervisor._finish_failed(ticket, 'solver-error')\n"
+        "        return None\n"
+        "def reraised(session, ticket):\n"
+        "    try:\n"
+        "        return session.solve(ticket.request)\n"
+        "    except BrokenPipeError:\n"
+        "        raise\n"
+        "def unrelated(mapping, key):\n"
+        "    try:\n"
+        "        return mapping[key]\n"
+        "    except KeyError:\n"
+        "        return None\n"
+    )
+
+    def test_bad_fixture(self, tmp_path):
+        report = lint_fixture(
+            tmp_path, self.BAD, ["REP013"], name="service_fixture.py"
+        )
+        assert codes_and_lines(report) == [("REP013", 4), ("REP013", 9)]
+        by_line = {f.line: f for f in report.findings}
+        # process() is a service entry; the nested helper carries a chain.
+        assert by_line[4].chain == (
+            "service_fixture.process",
+            "service_fixture._solve_ticket",
+        )
+        assert by_line[9].chain == ("service_fixture.process",)
+        assert "journal" in by_line[9].message
+
+    def test_good_fixture(self, tmp_path):
+        report = lint_fixture(
+            tmp_path, self.GOOD, ["REP013"], name="service_fixture.py"
+        )
+        assert report.findings == ()
+
+    def test_shipped_service_package_is_clean(self):
+        service_dir = REPO_ROOT / "src" / "repro" / "service"
+        report = run_lint([service_dir], select=["REP013"])
+        assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
 # REP010: hot-path complexity
 # ----------------------------------------------------------------------
 class TestRep010HotPath:

@@ -43,7 +43,7 @@ def codes_and_lines(report):
 
 
 class TestRegistry:
-    def test_all_twelve_rules_registered(self):
+    def test_all_thirteen_rules_registered(self):
         registry = default_rule_registry()
         assert registry.codes() == [
             "REP001",
@@ -58,6 +58,7 @@ class TestRegistry:
             "REP010",
             "REP011",
             "REP012",
+            "REP013",
         ]
 
     def test_unknown_rule_raises(self):
